@@ -1,0 +1,373 @@
+package waldo
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Run all of it with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment and prints the reproduced
+// rows/series once (so `go test -bench=.` emits the full report), and
+// reports the figure's headline quantities as custom benchmark metrics.
+// The campaign size defaults to the paper's 5,282 readings per channel per
+// sensor; set WALDO_BENCH_SAMPLES to scale it down for quick runs.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/experiments"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	printed    sync.Map
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		samples := 5282
+		if v := os.Getenv("WALDO_BENCH_SAMPLES"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				samples = n
+			}
+		}
+		benchSuite = experiments.NewSuite(experiments.Config{Seed: 42, Samples: samples})
+	})
+	return benchSuite
+}
+
+// printOnce emits an experiment's report a single time per process.
+func printOnce(name, report string) {
+	if _, loaded := printed.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n==== %s ====\n%s\n", name, report)
+	}
+}
+
+// BenchmarkCampaignGeneration measures the substrate itself: one full
+// multi-sensor reading (field evaluation, I/Q synthesis, FFT, features).
+func BenchmarkCampaignGeneration(b *testing.B) {
+	env, err := BuildMetroEnvironment(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCampaign(CampaignSpec{Env: env, Samples: 300, Channels: []Channel{47}, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(300*3, "readings/op")
+}
+
+func BenchmarkFig4SpectrumDatabaseFN(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 4", res.Render())
+		b.ReportMetric(res.MeanFNPlain, "meanFN")
+		b.ReportMetric(res.MeanFPPlain, "meanFP")
+	}
+}
+
+func BenchmarkFig5SensorSensitivity(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig5SensorSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 5", res.Render())
+		for _, fs := range res.Sensors {
+			b.ReportMetric(fs.DetectableFloorDBm, "floor-"+fs.Kind.String())
+		}
+	}
+}
+
+func BenchmarkFig6DetectionTraces(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig6DetectionTraces(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 6", res.Render())
+		b.ReportMetric(res.Agreement[SensorRTLSDR], "rtl-agreement")
+	}
+}
+
+func BenchmarkFig7LabelCorrelation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig7LabelCorrelation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 7", res.Render())
+		b.ReportMetric(res.Median, "median-r")
+	}
+}
+
+func BenchmarkSec22SafetyEfficiency(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Sec22SafetyEfficiency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("§2.2", res.Render())
+		b.ReportMetric(res.Overall[SensorRTLSDR].FNRate(), "rtl-misdetect")
+		b.ReportMetric(res.Overall[SensorUSRPB200].FNRate(), "usrp-misdetect")
+	}
+}
+
+func BenchmarkFig10and11FeatureBoxplots(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig10and11FeatureBoxplots()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Figs. 10-11", res.Render())
+	}
+}
+
+func BenchmarkFig12FeatureEffect(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig12FeatureEffect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 12", res.Render())
+		_, ratio := res.BestImprovement(SensorUSRPB200, experiments.VariantLegacySVM)
+		b.ReportMetric(ratio, "legacy-improvement-x")
+	}
+}
+
+func BenchmarkFig13LocalModels(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig13LocalModels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 13", res.Render())
+		fp1, _ := res.Rate(SensorUSRPB200, 1, FeaturesLocationRSSCFT, false)
+		fp3, _ := res.Rate(SensorUSRPB200, 3, FeaturesLocationRSSCFT, false)
+		b.ReportMetric(fp1, "fp-k1")
+		b.ReportMetric(fp3, "fp-k3")
+	}
+}
+
+func BenchmarkFig14TrainingSize(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig14TrainingSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 14", res.Render())
+		b.ReportMetric(res.MeanErrorAt(0.25), "err-25pct")
+		b.ReportMetric(res.MeanErrorAt(1.0), "err-100pct")
+	}
+}
+
+func BenchmarkFig15AntennaCorrection(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig15AntennaCorrection()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 15", res.Render())
+		b.ReportMetric(float64(len(res.SurvivingChannels)), "surviving-channels")
+	}
+}
+
+func BenchmarkTable1VScopeComparison(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table1VScopeComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Table 1 / Fig. 16", res.Render())
+		b.ReportMetric(res.VScope.FPRate(), "vscope-fp")
+		b.ReportMetric(res.WaldoUSRP.FPRate(), "waldo-usrp-fp")
+		_, ratio := res.BestErrorRatio()
+		b.ReportMetric(ratio, "best-advantage-x")
+	}
+}
+
+// BenchmarkFig16ErrorRateComparison aliases the Table 1 experiment (the
+// figure and the table come from the same run).
+func BenchmarkFig16ErrorRateComparison(b *testing.B) {
+	BenchmarkTable1VScopeComparison(b)
+}
+
+func BenchmarkFig17Convergence(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig17Convergence()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 17", res.Render())
+		b.ReportMetric(res.Stationary.Mean(), "stationary-s")
+		b.ReportMetric(res.MobileConvergedFrac, "mobile-converged")
+	}
+}
+
+func BenchmarkFig18CPUOverhead(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig18CPUOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Fig. 18", res.Render())
+		b.ReportMetric(res.NormalizedPct, "duty-cycle-pct")
+	}
+}
+
+func BenchmarkSec5ModelSize(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Sec5ModelSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("§5 model sizes", res.Render())
+		b.ReportMetric(float64(res.Bytes[ClassifierNB]), "nb-bytes")
+		b.ReportMetric(float64(res.Bytes[ClassifierSVM]), "svm-bytes")
+	}
+}
+
+func BenchmarkTable2Qualitative(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table2Qualitative()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Table 2", res.Render())
+		b.ReportMetric(res.SensingFNRate, "sensing-fn")
+	}
+}
+
+func BenchmarkAblationClassifiers(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationClassifiers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: classifiers", res.Render())
+		b.ReportMetric(res.TreeTrainingError, "tree-train-err")
+	}
+}
+
+func BenchmarkAblationLabeling(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationLabeling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: labeling", res.Render())
+	}
+}
+
+func BenchmarkAblationFeatureOrder(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationFeatureOrder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: feature order", res.Render())
+	}
+}
+
+// BenchmarkDetectorThroughput measures the mobile hot path: one capture
+// offered to the streaming detector (the per-reading cost of Fig. 18).
+func BenchmarkDetectorThroughput(b *testing.B) {
+	env, err := BuildMetroEnvironment(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	camp, err := RunCampaign(CampaignSpec{Env: env, Samples: 600, Channels: []Channel{47}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	readings := camp.Readings(47, SensorRTLSDR)
+	labels, err := LabelReadings(readings, LabelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := BuildModel(readings, labels, ConstructorConfig{ClusterK: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := NewDetector(model, DetectorConfig{MaxReadings: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := readings[0].Signal
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			det.Reset()
+		}
+		det.Offer(sig)
+	}
+	elapsed := time.Since(start)
+	if b.N > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ns/offer")
+	}
+}
+
+func BenchmarkAblationInterpolation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationInterpolation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: interpolation family", res.Render())
+	}
+}
+
+func BenchmarkAblationSafetyMargin(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationSafetyMargin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: safety margin", res.Render())
+	}
+}
+
+func BenchmarkAblationTemporalDrift(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationTemporalDrift()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("Ablation: temporal drift", res.Render())
+		b.ReportMetric(res.StaleTotal.ErrorRate(), "stale-err")
+		b.ReportMetric(res.UpdatedTotal.ErrorRate(), "updated-err")
+	}
+}

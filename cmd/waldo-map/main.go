@@ -1,0 +1,237 @@
+// Command waldo-map renders an ASCII white-space availability map for one
+// channel: the simulated ground truth next to a trained Waldo model's
+// predictions, with the per-cell disagreement rate. It is the quickest way
+// to see the coverage geometry (towers, pockets, protection rings) the
+// evaluation numbers summarize.
+//
+// Usage:
+//
+//	waldo-map [-channel 47] [-samples 2000] [-cols 64] [-seed 42]
+//
+// Legend: '#' not safe (protected), '.' white space, 'T' tower, '!' cells
+// where Waldo disagrees with ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-map:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waldo-map", flag.ContinueOnError)
+	channel := fs.Int("channel", 47, "TV channel to map")
+	samples := fs.Int("samples", 2000, "campaign readings")
+	cols := fs.Int("cols", 64, "map width in cells")
+	seed := fs.Int64("seed", 42, "environment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ch := rfenv.Channel(*channel)
+	if !ch.Valid() {
+		return fmt.Errorf("channel %d outside the TV band", *channel)
+	}
+
+	env, err := rfenv.BuildMetro(uint64(*seed))
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, c := range env.Channels() {
+		if c == ch {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("no transmitter on %v; channels: %v", ch, env.Channels())
+	}
+
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
+		Area: env.Area, Samples: *samples, Seed: *seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	camp, err := wardrive.Run(wardrive.CampaignConfig{
+		Env: env, Route: route, Channels: []rfenv.Channel{ch},
+		Sensors: []sensor.Spec{sensor.RTLSDR()}, Seed: *seed + 2,
+	})
+	if err != nil {
+		return err
+	}
+	readings := camp.Readings(ch, sensor.KindRTLSDR)
+	labels, err := dataset.LabelReadings(readings, dataset.LabelConfig{})
+	if err != nil {
+		return err
+	}
+	model, err := core.BuildModel(readings, labels, core.ConstructorConfig{ClusterK: 3, Seed: *seed + 3})
+	if err != nil {
+		return err
+	}
+
+	// Grid over the area. Rows keep cells roughly square in meters.
+	rows := *cols * 10 / 16 / 2 * 2 // terminal cells are ~2x taller than wide
+	if rows < 8 {
+		rows = 8
+	}
+	grid, err := buildGrid(env, ch, *cols, rows)
+	if err != nil {
+		return err
+	}
+	truth := truthLabels(grid, env, ch)
+	pred, err := waldoLabels(grid, env, ch, model, *seed+4)
+	if err != nil {
+		return err
+	}
+
+	towers := towerCells(grid, env, ch)
+	fmt.Printf("%v over %.0f km² — '#': protected, '.': white space, 'T': tower, '!': Waldo ≠ truth\n\n",
+		ch, rfenv.MetroAreaKM2)
+	renderSideBySide(grid, truth, pred, towers)
+
+	var wrong int
+	for i := range truth {
+		if truth[i] != pred[i] {
+			wrong++
+		}
+	}
+	fmt.Printf("\ncell disagreement: %.1f%% (%d of %d cells)\n",
+		100*float64(wrong)/float64(len(truth)), wrong, len(truth))
+	return nil
+}
+
+// cellGrid is a row-major lattice over the area.
+type cellGrid struct {
+	cols, rows int
+	pts        []geo.Point
+}
+
+func buildGrid(env *rfenv.Environment, ch rfenv.Channel, cols, rows int) (*cellGrid, error) {
+	sw, ne := env.Area.Corners()
+	g := &cellGrid{cols: cols, rows: rows}
+	for iy := 0; iy < rows; iy++ {
+		lat := ne.Lat + (sw.Lat-ne.Lat)*(float64(iy)+0.5)/float64(rows)
+		for ix := 0; ix < cols; ix++ {
+			lon := sw.Lon + (ne.Lon-sw.Lon)*(float64(ix)+0.5)/float64(cols)
+			g.pts = append(g.pts, geo.Point{Lat: lat, Lon: lon})
+		}
+	}
+	return g, nil
+}
+
+// truthLabels applies Algorithm 1's geometry to the true field on the grid.
+func truthLabels(g *cellGrid, env *rfenv.Environment, ch rfenv.Channel) []dataset.Label {
+	hot := make([]bool, len(g.pts))
+	for i, p := range g.pts {
+		hot[i] = env.RSSDBm(ch, p) > core.ThresholdDBm
+	}
+	out := make([]dataset.Label, len(g.pts))
+	for i, p := range g.pts {
+		out[i] = dataset.LabelSafe
+		for j, q := range g.pts {
+			if hot[j] && p.DistanceM(q) <= core.ProtectRadiusM {
+				out[i] = dataset.LabelNotSafe
+				break
+			}
+		}
+	}
+	return out
+}
+
+// waldoLabels classifies each cell with a fresh device observation.
+func waldoLabels(g *cellGrid, env *rfenv.Environment, ch rfenv.Channel, model *core.Model, seed int64) ([]dataset.Label, error) {
+	rng := rand.New(rand.NewSource(seed))
+	dev := sensor.NewDevice(sensor.RTLSDR())
+	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
+		return nil, err
+	}
+	out := make([]dataset.Label, len(g.pts))
+	for i, p := range g.pts {
+		obs, err := dev.Observe(rng, env.RSSDBm(ch, p), env.StrongestDBm(p, ch))
+		if err != nil {
+			return nil, err
+		}
+		sig, err := features.FromObservation(obs, dev.Calibration())
+		if err != nil {
+			return nil, err
+		}
+		label, err := model.Classify(p, sig)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = label
+	}
+	return out, nil
+}
+
+func towerCells(g *cellGrid, env *rfenv.Environment, ch rfenv.Channel) map[int]bool {
+	cells := make(map[int]bool)
+	for _, tx := range env.TransmittersOn(ch) {
+		best, bestD := -1, 1e18
+		for i, p := range g.pts {
+			if d := p.DistanceM(tx.Loc); d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+		// Mark only towers within (or near) the mapped area.
+		if best >= 0 && bestD < 3000 {
+			cells[best] = true
+		}
+	}
+	return cells
+}
+
+func renderSideBySide(g *cellGrid, truth, pred []dataset.Label, towers map[int]bool) {
+	var b strings.Builder
+	header := func(title string) string {
+		pad := g.cols - len(title)
+		if pad < 0 {
+			pad = 0
+		}
+		return title + strings.Repeat(" ", pad)
+	}
+	fmt.Fprintf(&b, "%s   %s\n", header("GROUND TRUTH"), header("WALDO"))
+	for iy := 0; iy < g.rows; iy++ {
+		for ix := 0; ix < g.cols; ix++ {
+			b.WriteByte(cellChar(truth[iy*g.cols+ix], false, towers[iy*g.cols+ix]))
+		}
+		b.WriteString("   ")
+		for ix := 0; ix < g.cols; ix++ {
+			i := iy*g.cols + ix
+			b.WriteByte(cellChar(pred[i], pred[i] != truth[i], towers[i]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}
+
+func cellChar(l dataset.Label, mismatch, tower bool) byte {
+	switch {
+	case tower:
+		return 'T'
+	case mismatch:
+		return '!'
+	case l == dataset.LabelSafe:
+		return '.'
+	default:
+		return '#'
+	}
+}

@@ -1,0 +1,103 @@
+// Command waldo-server runs the central Waldo spectrum database: it
+// bootstraps from a readings CSV (as produced by waldo-wardrive), trains
+// the White Space Detection Models, and serves the model-download and
+// reading-upload API that mobile WSDs use.
+//
+// Usage:
+//
+//	waldo-wardrive -out campaign.csv
+//	waldo-server -data campaign.csv -addr :8473
+//
+// Endpoints:
+//
+//	GET  /v1/health
+//	GET  /v1/model?channel=47&sensor=1   → binary model descriptor
+//	POST /v1/readings                    → JSON reading upload (α′ gated)
+//	POST /v1/retrain?channel=47&sensor=1 → rebuild one model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/features"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waldo-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8473", "listen address")
+	data := fs.String("data", "", "bootstrap readings CSV (required)")
+	clusterK := fs.Int("clusters", 3, "localities per model")
+	classifier := fs.String("classifier", "svm", "per-locality classifier: svm|nb|svm-linear")
+	alphaPrime := fs.Float64("alpha-prime", 1.0, "upload acceptance CI span (dB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required (generate one with waldo-wardrive)")
+	}
+
+	var kind core.ClassifierKind
+	switch *classifier {
+	case "svm":
+		kind = core.KindSVM
+	case "nb":
+		kind = core.KindNB
+	case "svm-linear":
+		kind = core.KindLinearSVM
+	default:
+		return fmt.Errorf("unknown classifier %q", *classifier)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	var readings []dataset.Reading
+	if strings.HasSuffix(*data, ".gob") {
+		readings, err = dataset.ReadGob(f)
+	} else {
+		readings, err = dataset.ReadCSV(f)
+	}
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load %s: %w", *data, err)
+	}
+	log.Printf("loaded %d readings from %s", len(readings), *data)
+
+	srv := dbserver.New(dbserver.Config{
+		Constructor: core.ConstructorConfig{
+			ClusterK:   *clusterK,
+			Classifier: kind,
+			Features:   features.SetLocationRSSCFT,
+		},
+		AlphaPrimeDB: *alphaPrime,
+	})
+	start := time.Now()
+	if err := srv.Bootstrap(readings); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	log.Printf("trained models in %.1fs; serving on %s", time.Since(start).Seconds(), *addr)
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return server.ListenAndServe()
+}

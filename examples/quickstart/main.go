@@ -1,0 +1,84 @@
+// Quickstart: build the metro RF world, run a small war-driving campaign,
+// label it with the FCC rule, train a Waldo model, and classify a few
+// locations — the whole §3 pipeline in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	waldo "github.com/wsdetect/waldo"
+)
+
+func main() {
+	// 1. The RF world: nine TV channels over a 700 km² metro area.
+	env, err := waldo.BuildMetroEnvironment(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A measurement campaign: a war-driving route sampled by the $15
+	// RTL-SDR (plus USRP and spectrum analyzer by default).
+	campaign, err := waldo.RunCampaign(waldo.CampaignSpec{
+		Env:      env,
+		Samples:  1200,
+		Channels: []waldo.Channel{47},
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	readings := campaign.Readings(47, waldo.SensorRTLSDR)
+	fmt.Printf("campaign: %d RTL-SDR readings on channel 47\n", len(readings))
+
+	// 3. Algorithm 1: −84 dBm decodability + 6 km protection.
+	labels, err := waldo.LabelReadings(readings, waldo.LabelConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	safe := 0
+	for _, l := range labels {
+		if l == waldo.LabelSafe {
+			safe++
+		}
+	}
+	fmt.Printf("labels: %.1f%% of locations are white space\n", 100*float64(safe)/float64(len(labels)))
+
+	// 4. The Model Constructor: three localities, SVM on location + RSS
+	// + CFT.
+	model, err := waldo.BuildModel(readings, labels, waldo.ConstructorConfig{
+		ClusterK:   3,
+		Classifier: waldo.ClassifierSVM,
+		Features:   waldo.FeaturesLocationRSSCFT,
+		Seed:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := waldo.EncodedModelSize(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d localities, %d-byte descriptor\n", model.NumLocalities(), size)
+
+	// 5. Classify: a point deep in channel 47's coverage (northeast) and
+	// one on the quiet far side (southwest).
+	correct := 0
+	for i, r := range readings {
+		got, err := model.ClassifyReading(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got == labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("training-set agreement: %.1f%%\n", 100*float64(correct)/float64(len(readings)))
+
+	ne := readings[0].Loc.Offset(45, 100)
+	label, err := model.Classify(ne, waldo.Signal{RSSdBm: -70, CFTdB: -81, AFTdB: -83})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strong signal near the tower → %v\n", label)
+}

@@ -1,0 +1,3 @@
+module github.com/wsdetect/waldo
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package specdb implements a conventional propagation-model spectrum
+// database — the FCC-certified approach (Google Spectrum Database,
+// SpectrumBridge) Waldo is compared against in Fig. 4 and §4.4. The
+// database knows transmitter locations and powers, applies a generic
+// propagation model (R-6602-style curves), computes each station's
+// protected contour, and denies white-space use anywhere within contour
+// plus the portable-device separation distance. It has no knowledge of
+// local terrain, so it cannot see the pockets of Figure 1 — which is
+// exactly its over-protection failure mode.
+package specdb
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+// Database is a protected-contour white-space database.
+type Database struct {
+	model    rfenv.PathLossModel
+	protectM float64
+	// contour radius (m) per transmitter index, per channel
+	radii map[rfenv.Channel][]contour
+}
+
+type contour struct {
+	tx      rfenv.Transmitter
+	radiusM float64
+}
+
+// Config assembles a database.
+type Config struct {
+	// Transmitters is the incumbent registry; required.
+	Transmitters []rfenv.Transmitter
+	// Model is the generic propagation model; nil means the
+	// conservative FCC-curve-style model.
+	Model rfenv.PathLossModel
+	// ThresholdDBm is the protected-contour field strength; 0 means −84.
+	ThresholdDBm float64
+	// ProtectRadiusM is the extra separation for portable devices;
+	// 0 means 6000.
+	ProtectRadiusM float64
+	// RxHeightM is the receiver height the contour is evaluated at;
+	// 0 means 2 m (the measurement height; set 10 for the regulatory
+	// assumption, which inflates contours further).
+	RxHeightM float64
+}
+
+// New precomputes protected contours for every transmitter.
+func New(cfg Config) (*Database, error) {
+	if len(cfg.Transmitters) == 0 {
+		return nil, fmt.Errorf("specdb: no transmitters registered")
+	}
+	model := cfg.Model
+	if model == nil {
+		model = rfenv.FCCCurves{}
+	}
+	threshold := cfg.ThresholdDBm
+	if threshold == 0 {
+		threshold = -84
+	}
+	protect := cfg.ProtectRadiusM
+	if protect == 0 {
+		protect = 6000
+	}
+	rx := cfg.RxHeightM
+	if rx == 0 {
+		rx = 2
+	}
+
+	db := &Database{
+		model:    model,
+		protectM: protect,
+		radii:    make(map[rfenv.Channel][]contour),
+	}
+	for _, tx := range cfg.Transmitters {
+		f, err := tx.Channel.CenterFreqMHz()
+		if err != nil {
+			return nil, fmt.Errorf("specdb: %s: %w", tx.Callsign, err)
+		}
+		r, err := contourRadiusM(model, tx, f, rx, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("specdb: %s: %w", tx.Callsign, err)
+		}
+		db.radii[tx.Channel] = append(db.radii[tx.Channel], contour{tx: tx, radiusM: r})
+	}
+	return db, nil
+}
+
+// contourRadiusM bisects for the distance where the predicted field drops
+// to the threshold. Path loss is monotone in distance for every model in
+// rfenv.
+func contourRadiusM(m rfenv.PathLossModel, tx rfenv.Transmitter, fMHz, rxH, thresholdDBm float64) (float64, error) {
+	predict := func(d float64) float64 {
+		return tx.ERPdBm - m.PathLossDB(d, fMHz, tx.HeightM, rxH)
+	}
+	const (
+		lo0 = 50.0
+		hi0 = 1.5e6 // 1500 km: beyond any UHF station
+	)
+	if predict(hi0) >= thresholdDBm {
+		return hi0, nil
+	}
+	if predict(lo0) < thresholdDBm {
+		return 0, nil
+	}
+	lo, hi := lo0, hi0
+	for i := 0; i < 80 && hi-lo > 1; i++ {
+		mid := (lo + hi) / 2
+		if predict(mid) >= thresholdDBm {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ContourRadiusM returns the protected-contour radius of the i-th
+// transmitter on ch (for reports).
+func (db *Database) ContourRadiusM(ch rfenv.Channel, i int) (float64, error) {
+	cs := db.radii[ch]
+	if i < 0 || i >= len(cs) {
+		return 0, fmt.Errorf("specdb: no contour %d on %v", i, ch)
+	}
+	return cs[i].radiusM, nil
+}
+
+// Available reports the database's answer to a white-space query: may a
+// portable device transmit on ch at p?
+func (db *Database) Available(ch rfenv.Channel, p geo.Point) bool {
+	for _, c := range db.radii[ch] {
+		if c.tx.Loc.DistanceM(p) <= c.radiusM+db.protectM {
+			return false
+		}
+	}
+	return true
+}
+
+// Channels returns the channels with registered incumbents.
+func (db *Database) Channels() []rfenv.Channel {
+	out := make([]rfenv.Channel, 0, len(db.radii))
+	for ch := range db.radii {
+		out = append(out, ch)
+	}
+	sortChannels(out)
+	return out
+}
+
+func sortChannels(chs []rfenv.Channel) {
+	for i := 1; i < len(chs); i++ {
+		for j := i; j > 0 && chs[j] < chs[j-1]; j-- {
+			chs[j], chs[j-1] = chs[j-1], chs[j]
+		}
+	}
+}
+
+// OverprotectionFactor compares the database's denied area around one
+// transmitter to a reference radius (e.g. the true decodable extent),
+// quantifying the paper's "up to 2× actual coverage" observation.
+func (db *Database) OverprotectionFactor(ch rfenv.Channel, i int, trueRadiusM float64) (float64, error) {
+	r, err := db.ContourRadiusM(ch, i)
+	if err != nil {
+		return 0, err
+	}
+	if trueRadiusM <= 0 {
+		return math.Inf(1), nil
+	}
+	denied := r + db.protectM
+	return (denied * denied) / (trueRadiusM * trueRadiusM), nil
+}

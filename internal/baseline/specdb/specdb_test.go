@@ -1,0 +1,124 @@
+package specdb
+
+import (
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+func metroDB(t *testing.T) (*Database, *rfenv.Environment) {
+	t.Helper()
+	env, err := rfenv.BuildMetro(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(Config{Transmitters: env.Transmitters()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, env
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty registry must fail")
+	}
+}
+
+func TestChannels(t *testing.T) {
+	db, env := metroDB(t)
+	if got, want := len(db.Channels()), len(env.Channels()); got != want {
+		t.Errorf("channels = %d, want %d", got, want)
+	}
+	chs := db.Channels()
+	for i := 1; i < len(chs); i++ {
+		if chs[i] < chs[i-1] {
+			t.Error("channels not sorted")
+		}
+	}
+}
+
+func TestContourMonotoneInPower(t *testing.T) {
+	weak := rfenv.Transmitter{Callsign: "W", Loc: rfenv.MetroCenter, Channel: 30, ERPdBm: 60, HeightM: 300}
+	strong := weak
+	strong.ERPdBm = 90
+	db, err := New(Config{Transmitters: []rfenv.Transmitter{weak, strong}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := db.ContourRadiusM(30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.ContourRadiusM(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs <= rw {
+		t.Errorf("stronger station should have larger contour: %v vs %v", rs, rw)
+	}
+	if _, err := db.ContourRadiusM(30, 5); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := db.ContourRadiusM(15, 0); err == nil {
+		t.Error("unknown channel must fail")
+	}
+}
+
+func TestAvailabilityGeometry(t *testing.T) {
+	tx := rfenv.Transmitter{Callsign: "X", Loc: rfenv.MetroCenter, Channel: 47, ERPdBm: 80, HeightM: 300}
+	db, err := New(Config{Transmitters: []rfenv.Transmitter{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.ContourRadiusM(47, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the contour: denied. Just beyond contour+6 km: allowed.
+	if db.Available(47, rfenv.MetroCenter.Offset(0, r/2)) {
+		t.Error("inside contour should be denied")
+	}
+	if db.Available(47, rfenv.MetroCenter.Offset(0, r+5000)) {
+		t.Error("inside the 6 km buffer should be denied")
+	}
+	if !db.Available(47, rfenv.MetroCenter.Offset(0, r+7000)) {
+		t.Error("outside contour+6 km should be allowed")
+	}
+	// Other channels are unaffected.
+	if !db.Available(30, rfenv.MetroCenter) {
+		t.Error("channel without incumbents should be available")
+	}
+}
+
+// TestDatabaseOverprotectsPockets is the Fig. 1 / Fig. 4 mechanism: inside
+// an obstruction pocket the true signal is undecodable, but the database —
+// blind to terrain — still denies the channel.
+func TestDatabaseOverprotectsPockets(t *testing.T) {
+	db, env := metroDB(t)
+	// The metro has a channel-47 pocket obstruction 5 km NE of center.
+	pocket := rfenv.MetroCenter.Offset(45, 5000)
+	if env.DecodableAt(47, pocket) {
+		t.Skip("pocket is decodable under this seed; geometry changed")
+	}
+	if db.Available(47, pocket) {
+		t.Error("generic database should deny the pocket (over-protection)")
+	}
+}
+
+func TestOverprotectionFactor(t *testing.T) {
+	db, _ := metroDB(t)
+	f, err := db.OverprotectionFactor(47, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 1 {
+		t.Errorf("overprotection factor = %v, want > 1 for a conservative model", f)
+	}
+	inf, err := db.OverprotectionFactor(47, 0, 0)
+	if err != nil || !isInf(inf) {
+		t.Errorf("zero reference should be +inf, got %v (%v)", inf, err)
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }

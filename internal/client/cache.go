@@ -1,0 +1,123 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+// DecisionCache implements the §5 scan-time optimization: "clearly vacant
+// channels, with no operational station anywhere in the area, can be
+// cached and not scanned by Waldo". A converged decision stays valid for a
+// TTL and within a spatial radius; cached channels are skipped on the next
+// duty cycle, cutting both air time and the 2-second 802.22 budget
+// pressure.
+type DecisionCache struct {
+	// TTL is the maximum decision age; 0 means 10 minutes.
+	TTL time.Duration
+	// RadiusM is the maximum distance from the decision's location;
+	// 0 means 1000 m (well within a locality).
+	RadiusM float64
+	// Now is the clock; nil means time.Now (injectable for tests).
+	Now func() time.Time
+
+	entries map[rfenv.Channel]cachedDecision
+}
+
+type cachedDecision struct {
+	loc geo.Point
+	dec core.Decision
+	at  time.Time
+}
+
+func (c *DecisionCache) defaults() {
+	if c.TTL == 0 {
+		c.TTL = 10 * time.Minute
+	}
+	if c.RadiusM == 0 {
+		c.RadiusM = 1000
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.entries == nil {
+		c.entries = make(map[rfenv.Channel]cachedDecision)
+	}
+}
+
+// Put stores a decision for reuse. Only converged decisions are cached:
+// non-converged fallbacks are conservative guesses, not facts worth
+// remembering.
+func (c *DecisionCache) Put(ch rfenv.Channel, loc geo.Point, dec core.Decision) {
+	c.defaults()
+	if !dec.Converged {
+		return
+	}
+	c.entries[ch] = cachedDecision{loc: loc, dec: dec, at: c.Now()}
+}
+
+// Get returns a still-valid cached decision for ch at loc.
+func (c *DecisionCache) Get(ch rfenv.Channel, loc geo.Point) (core.Decision, bool) {
+	c.defaults()
+	e, ok := c.entries[ch]
+	if !ok {
+		return core.Decision{}, false
+	}
+	if c.Now().Sub(e.at) > c.TTL {
+		delete(c.entries, ch)
+		return core.Decision{}, false
+	}
+	if e.loc.DistanceM(loc) > c.RadiusM {
+		return core.Decision{}, false
+	}
+	return e.dec, true
+}
+
+// Len returns the number of cached channels (including possibly expired
+// entries not yet evicted).
+func (c *DecisionCache) Len() int { return len(c.entries) }
+
+// Invalidate drops one channel's entry.
+func (c *DecisionCache) Invalidate(ch rfenv.Channel) {
+	if c.entries != nil {
+		delete(c.entries, ch)
+	}
+}
+
+// ScanCached behaves like Scan but serves fresh nearby decisions from the
+// cache, sensing only the channels that need it, and caches the new
+// converged decisions.
+func (w *WSD) ScanCached(loc geo.Point, cache *DecisionCache) (ScanResult, error) {
+	if cache == nil {
+		return ScanResult{}, fmt.Errorf("client: nil decision cache")
+	}
+	cache.defaults()
+	var res ScanResult
+	chs := make([]rfenv.Channel, 0, len(w.Models))
+	for ch := range w.Models {
+		chs = append(chs, ch)
+	}
+	for i := 1; i < len(chs); i++ {
+		for j := i; j > 0 && chs[j] < chs[j-1]; j-- {
+			chs[j], chs[j-1] = chs[j-1], chs[j]
+		}
+	}
+	for _, ch := range chs {
+		if dec, ok := cache.Get(ch, loc); ok {
+			res.Channels = append(res.Channels, ChannelScan{Channel: ch, Decision: dec})
+			continue
+		}
+		cs, err := w.SenseChannel(ch, loc)
+		if err != nil {
+			return ScanResult{}, err
+		}
+		cache.Put(ch, loc, cs.Decision)
+		res.Channels = append(res.Channels, cs)
+		res.AirTime += cs.AirTime
+		res.CPUTime += cs.CPUTime
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+// Package client implements the mobile White Space Device side of Waldo
+// (paper §3.1 right half of Fig. 8, and the Android prototype of §5): the
+// Local Model Parameters Updater that downloads and caches per-channel
+// model descriptors, the detection loop that streams captures through the
+// White Space Detector, and the Global Model Updater upload path.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Client talks to a Waldo spectrum database. It caches model descriptors:
+// one download covers a large area, which is the protocol advantage over
+// per-location spectrum-database queries (§5).
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+
+	mu    sync.Mutex
+	cache map[cacheKey]cached
+}
+
+type cacheKey struct {
+	ch   rfenv.Channel
+	kind sensor.Kind
+}
+
+type cached struct {
+	model   *core.Model
+	version string
+	bytes   int
+}
+
+// New returns a client for the database at baseURL (e.g.
+// "http://localhost:8473"). httpc may be nil for http.DefaultClient.
+func New(baseURL string, httpc *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, httpc: httpc, cache: make(map[cacheKey]cached)}, nil
+}
+
+// Model returns the detection model for a channel/sensor, downloading it
+// on first use. The returned byte count is the descriptor size (0 on cache
+// hits), feeding the §5 download-overhead analysis.
+func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
+	key := cacheKey{ch, kind}
+	c.mu.Lock()
+	if hit, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return hit.model, 0, nil
+	}
+	c.mu.Unlock()
+
+	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
+	resp, err := c.httpc.Get(url)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("client: fetch model: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: read model: %w", err)
+	}
+	model, err := core.DecodeModel(bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: decode model: %w", err)
+	}
+	entry := cached{model: model, version: resp.Header.Get("X-Waldo-Model-Version"), bytes: len(raw)}
+	c.mu.Lock()
+	c.cache[key] = entry
+	c.mu.Unlock()
+	return model, len(raw), nil
+}
+
+// Invalidate drops a cached model (e.g. after leaving the area).
+func (c *Client) Invalidate(ch rfenv.Channel, kind sensor.Kind) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, cacheKey{ch, kind})
+}
+
+// Upload submits a reading batch to the Global Model Updater.
+func (c *Client) Upload(batch core.UploadBatch) error {
+	if len(batch.Readings) == 0 {
+		return fmt.Errorf("client: empty upload")
+	}
+	payload := dbserver.UploadJSON{CISpanDB: batch.CISpanDB}
+	for _, r := range batch.Readings {
+		payload.Readings = append(payload.Readings, dbserver.FromReading(r))
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("client: marshal upload: %w", err)
+	}
+	resp, err := c.httpc.Post(c.baseURL+"/v1/readings", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("client: upload rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// RequestRetrain asks the database to rebuild one model.
+func (c *Client) RequestRetrain(ch rfenv.Channel, kind sensor.Kind) error {
+	url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
+	resp, err := c.httpc.Post(url, "", nil)
+	if err != nil {
+		return fmt.Errorf("client: retrain: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("client: retrain failed: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// UploadFromDecision packages a detection's readings into an upload batch.
+func UploadFromDecision(readings []dataset.Reading, dec core.Decision) core.UploadBatch {
+	return core.UploadBatch{Readings: readings, CISpanDB: dec.CISpanDB}
+}

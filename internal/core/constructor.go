@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/ml"
+	"github.com/wsdetect/waldo/internal/ml/bayes"
+	"github.com/wsdetect/waldo/internal/ml/kmeans"
+	"github.com/wsdetect/waldo/internal/ml/svm"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// ConstructorConfig parameterizes the Model Constructor (§3.2).
+type ConstructorConfig struct {
+	// ClusterK is the number of localities; 1 disables clustering.
+	// Default 1 (the paper's best FP/overhead balance for 700 km² is 3).
+	ClusterK int
+	// Classifier selects the per-locality model family; default KindSVM.
+	Classifier ClassifierKind
+	// Features selects the classifier inputs; default
+	// SetLocationRSSCFT, the "location + two signal features"
+	// configuration of Table 1 / Fig. 16.
+	Features features.Set
+	// SafetyMargin biases classification toward NotSafe: a point is
+	// declared Safe only when the classifier's decision value exceeds
+	// this margin. Zero reproduces the paper; §2.1 notes that
+	// "the conservativeness of this approach can be controlled", and
+	// this is the control (trades FN for FP). Negative margins are
+	// rejected — never bias toward endangering incumbents.
+	SafetyMargin float64
+	// Seed drives clustering and SVM randomization.
+	Seed int64
+}
+
+func (c *ConstructorConfig) defaults() error {
+	if c.ClusterK == 0 {
+		c.ClusterK = 1
+	}
+	if c.ClusterK < 0 {
+		return fmt.Errorf("core: negative cluster count %d", c.ClusterK)
+	}
+	if c.Classifier == 0 {
+		c.Classifier = KindSVM
+	}
+	if !c.Classifier.Valid() {
+		return fmt.Errorf("core: invalid classifier kind %d", int(c.Classifier))
+	}
+	if c.Features == 0 {
+		c.Features = features.SetLocationRSSCFT
+	}
+	if !c.Features.Valid() {
+		return fmt.Errorf("core: invalid feature set %d", int(c.Features))
+	}
+	if c.SafetyMargin < 0 {
+		return fmt.Errorf("core: negative safety margin %v", c.SafetyMargin)
+	}
+	return nil
+}
+
+// localModel is one locality's trained classifier.
+type localModel struct {
+	// constant marks all-safe or all-not-safe localities: the "binary"
+	// clusters of §3.2 that need no classifier at all.
+	constant      bool
+	constantLabel dataset.Label
+	std           *ml.Standardizer
+	clf           ml.Classifier
+}
+
+// Model is the downloadable White Space Detection Model for one channel as
+// seen by one sensor type.
+type Model struct {
+	// Channel is the TV channel the model covers.
+	Channel rfenv.Channel
+	// Sensor is the device family the training readings came from.
+	Sensor sensor.Kind
+	// Features is the classifier input set.
+	Features features.Set
+	// Kind is the classifier family.
+	Kind ClassifierKind
+	// Origin anchors the location-feature projection.
+	Origin geo.Point
+
+	centers [][]float64 // locality centers in location-feature space (km)
+	locals  []localModel
+	margin  float64
+	proj    *geo.Projector
+}
+
+// NumLocalities returns the number of per-locality models.
+func (m *Model) NumLocalities() int { return len(m.locals) }
+
+// newClassifier builds an untrained classifier for the configured family.
+func newClassifier(kind ClassifierKind, seed int64) (ml.Classifier, error) {
+	switch kind {
+	case KindSVM:
+		// The descriptor-compactness requirement of §3.2 (WSDs download
+		// the model) bounds the feature budget: D=48 random Fourier
+		// features keeps SVM descriptors in the tens of kilobytes and,
+		// as in the paper, limits how much pure spatial structure the
+		// model can memorize — signal features carry the rest.
+		return &svm.RFFSVM{Seed: seed, D: 48, Gamma: 0.35, Linear: svm.Pegasos{ClassBalance: true}}, nil
+	case KindNB:
+		return &bayes.GaussianNB{}, nil
+	case KindSVMExact:
+		return &svm.SMO{Kernel: svm.RBF{Gamma: 0.5}, Seed: seed}, nil
+	case KindLinearSVM:
+		return &svm.Pegasos{Seed: seed, ClassBalance: true}, nil
+	default:
+		return nil, fmt.Errorf("core: invalid classifier kind %d", int(kind))
+	}
+}
+
+// BuildModel trains a White Space Detection Model from labeled readings of
+// one channel/sensor. readings and labels must be parallel; all readings
+// must share the same channel and sensor.
+func BuildModel(readings []dataset.Reading, labels []dataset.Label, cfg ConstructorConfig) (*Model, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("core: no readings")
+	}
+	if len(readings) != len(labels) {
+		return nil, fmt.Errorf("core: %d readings but %d labels", len(readings), len(labels))
+	}
+	ch, kind := readings[0].Channel, readings[0].Sensor
+	for i := range readings {
+		if readings[i].Channel != ch || readings[i].Sensor != kind {
+			return nil, fmt.Errorf("core: reading %d is %v/%v, model is %v/%v",
+				i, readings[i].Channel, readings[i].Sensor, ch, kind)
+		}
+	}
+	if cfg.ClusterK > len(readings) {
+		return nil, fmt.Errorf("core: %d clusters for %d readings", cfg.ClusterK, len(readings))
+	}
+
+	origin := readings[0].Loc
+	proj := geo.NewProjector(origin)
+
+	// Localities identification: cluster on location only (km).
+	locs := make([][]float64, len(readings))
+	for i := range readings {
+		xy := proj.ToXY(readings[i].Loc)
+		locs[i] = []float64{xy.X / 1000, xy.Y / 1000}
+	}
+	clu, err := kmeans.Run(locs, kmeans.Config{K: cfg.ClusterK, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: localities identification: %w", err)
+	}
+
+	model := &Model{
+		Channel:  ch,
+		Sensor:   kind,
+		Features: cfg.Features,
+		Kind:     cfg.Classifier,
+		Origin:   origin,
+		centers:  clu.Centers,
+		locals:   make([]localModel, cfg.ClusterK),
+		margin:   cfg.SafetyMargin,
+		proj:     proj,
+	}
+
+	for c := 0; c < cfg.ClusterK; c++ {
+		var x [][]float64
+		var y []int
+		for i := range readings {
+			if clu.Assignments[i] != c {
+				continue
+			}
+			vec, err := cfg.Features.Vector(proj.ToXY(readings[i].Loc), readings[i].Signal)
+			if err != nil {
+				return nil, fmt.Errorf("core: feature vector: %w", err)
+			}
+			cls, err := labelToClass(labels[i])
+			if err != nil {
+				return nil, err
+			}
+			x = append(x, vec)
+			y = append(y, cls)
+		}
+		lm, err := trainLocal(x, y, cfg, int64(c))
+		if err != nil {
+			return nil, fmt.Errorf("core: locality %d: %w", c, err)
+		}
+		model.locals[c] = lm
+	}
+	return model, nil
+}
+
+// trainLocal fits one locality. Single-class localities become constant
+// ("binary") models.
+func trainLocal(x [][]float64, y []int, cfg ConstructorConfig, salt int64) (localModel, error) {
+	if len(x) == 0 {
+		// An empty locality can only arise from k-means re-seeding
+		// pathologies; be conservative.
+		return localModel{constant: true, constantLabel: dataset.LabelNotSafe}, nil
+	}
+	first, constant := y[0], true
+	for _, v := range y[1:] {
+		if v != first {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return localModel{constant: true, constantLabel: classToLabel(first)}, nil
+	}
+
+	std, err := ml.FitStandardizer(x)
+	if err != nil {
+		return localModel{}, err
+	}
+	z, err := std.TransformAll(x)
+	if err != nil {
+		return localModel{}, err
+	}
+	clf, err := newClassifier(cfg.Classifier, cfg.Seed+salt*7919)
+	if err != nil {
+		return localModel{}, err
+	}
+	if err := clf.Fit(z, y); err != nil {
+		return localModel{}, err
+	}
+	return localModel{std: std, clf: clf}, nil
+}
+
+// Classify predicts white-space availability for a reading taken at loc
+// with the given signal features.
+func (m *Model) Classify(loc geo.Point, sig features.Signal) (dataset.Label, error) {
+	if len(m.locals) == 0 {
+		return 0, fmt.Errorf("core: empty model")
+	}
+	if m.proj == nil {
+		m.proj = geo.NewProjector(m.Origin)
+	}
+	xy := m.proj.ToXY(loc)
+	idx, _ := kmeans.Nearest(m.centers, []float64{xy.X / 1000, xy.Y / 1000})
+	lm := &m.locals[idx]
+	if lm.constant {
+		return lm.constantLabel, nil
+	}
+	vec, err := m.Features.Vector(xy, sig)
+	if err != nil {
+		return 0, err
+	}
+	z, err := lm.std.Transform(vec)
+	if err != nil {
+		return 0, err
+	}
+	if m.margin > 0 {
+		if scorer, ok := lm.clf.(ml.DecisionScorer); ok {
+			score, err := scorer.DecisionValue(z)
+			if err != nil {
+				return 0, err
+			}
+			if score >= m.margin {
+				return dataset.LabelSafe, nil
+			}
+			return dataset.LabelNotSafe, nil
+		}
+	}
+	cls, err := lm.clf.Predict(z)
+	if err != nil {
+		return 0, err
+	}
+	return classToLabel(cls), nil
+}
+
+// ClassifyReading is a convenience wrapper over Classify.
+func (m *Model) ClassifyReading(r dataset.Reading) (dataset.Label, error) {
+	return m.Classify(r.Loc, r.Signal)
+}

@@ -1,0 +1,94 @@
+// Package core implements Waldo itself — the paper's primary contribution:
+// a white-space detection system that fuses location with signal features
+// (RSS, CFT, AFT) from low-cost sensors.
+//
+// The package follows the architecture of paper §3 (Fig. 8):
+//
+//   - ModelConstructor (§3.2) runs at the central spectrum database: it
+//     clusters labeled readings into localities (k-means on location) and
+//     trains one compact binary classifier per locality — SVM or Naive
+//     Bayes — on location + signal features.
+//   - Model is the downloadable White Space Detection Model: cluster
+//     centers plus per-locality classifiers, serialized by the codec in
+//     codec.go into the small descriptor files whose size §5 measures.
+//   - Detector (§3.3) runs on the mobile WSD: it smooths a stream of noisy
+//     captures, rejects 5th/95th-percentile outliers, declares convergence
+//     when the 90% confidence interval is narrower than the sensitivity
+//     parameter α, and only then classifies.
+//   - Updater (§3.4) closes the loop: WSDs upload converged reading
+//     batches, and the database retrains.
+package core
+
+import (
+	"fmt"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/ml"
+)
+
+// FCC-derived constants (paper §2.1).
+const (
+	// ThresholdDBm is the TV-signal decodability threshold defining
+	// protected contours.
+	ThresholdDBm = -84.0
+	// ProtectRadiusM is the separation distance required of portable
+	// white-space devices.
+	ProtectRadiusM = 6000.0
+	// SensingThresholdDBm is the FCC's sensing-only detection threshold,
+	// the level that forces $10-40K analyzers (Waldo's approach avoids
+	// it).
+	SensingThresholdDBm = -114.0
+)
+
+// ClassifierKind selects the per-locality model family.
+type ClassifierKind int
+
+// Supported classifier families. KindSVM (random-Fourier-feature RBF SVM)
+// and KindNB are the two families the paper evaluates; KindSVMExact is the
+// SMO reference solver; KindLinearSVM is a Pegasos ablation.
+const (
+	KindSVM ClassifierKind = iota + 1
+	KindNB
+	KindSVMExact
+	KindLinearSVM
+)
+
+// String implements fmt.Stringer.
+func (k ClassifierKind) String() string {
+	switch k {
+	case KindSVM:
+		return "svm"
+	case KindNB:
+		return "nb"
+	case KindSVMExact:
+		return "svm-exact"
+	case KindLinearSVM:
+		return "svm-linear"
+	default:
+		return fmt.Sprintf("core.ClassifierKind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a defined kind.
+func (k ClassifierKind) Valid() bool { return k >= KindSVM && k <= KindLinearSVM }
+
+// labelToClass converts a dataset label to the ml convention
+// (Safe = Positive).
+func labelToClass(l dataset.Label) (int, error) {
+	switch l {
+	case dataset.LabelSafe:
+		return ml.Positive, nil
+	case dataset.LabelNotSafe:
+		return ml.Negative, nil
+	default:
+		return 0, fmt.Errorf("core: unknown label %v", l)
+	}
+}
+
+// classToLabel converts an ml class back to a dataset label.
+func classToLabel(c int) dataset.Label {
+	if c == ml.Positive {
+		return dataset.LabelSafe
+	}
+	return dataset.LabelNotSafe
+}

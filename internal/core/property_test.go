@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// randomReadings builds a random two-class dataset from a seed.
+func randomReadings(seed int64, n int) ([]dataset.Reading, []dataset.Label) {
+	rng := rand.New(rand.NewSource(seed))
+	origin := rfenv.MetroCenter
+	readings := make([]dataset.Reading, n)
+	labels := make([]dataset.Label, n)
+	for i := range readings {
+		rss := -105 + rng.Float64()*45
+		readings[i] = dataset.Reading{
+			Seq:     i,
+			Loc:     origin.Offset(rng.Float64()*360, rng.Float64()*12000),
+			Channel: 30,
+			Sensor:  sensor.KindUSRPB200,
+			Signal: features.Signal{
+				RSSdBm: rss,
+				CFTdB:  rss - 11.3 + rng.NormFloat64(),
+				AFTdB:  rss - 13 + rng.NormFloat64(),
+			},
+		}
+		if rss > -84 || rng.Float64() < 0.3 {
+			labels[i] = dataset.LabelNotSafe
+		} else {
+			labels[i] = dataset.LabelSafe
+		}
+	}
+	// Guarantee both classes.
+	labels[0] = dataset.LabelSafe
+	labels[1] = dataset.LabelNotSafe
+	return readings, labels
+}
+
+// TestPropertyCodecRoundTrip: any trained model survives encode/decode
+// with identical predictions.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	kinds := []ClassifierKind{KindSVM, KindNB, KindLinearSVM}
+	f := func(seed int64, kindPick uint8, kPick uint8, setPick uint8) bool {
+		kind := kinds[int(kindPick)%len(kinds)]
+		k := 1 + int(kPick)%4
+		set := features.AllSets[int(setPick)%len(features.AllSets)]
+		readings, labels := randomReadings(seed, 160)
+		m, err := BuildModel(readings, labels, ConstructorConfig{
+			ClusterK: k, Classifier: kind, Features: set, Seed: seed,
+		})
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := EncodeModel(&buf, m); err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		clone, err := DecodeModel(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		for i := range readings {
+			a, err := m.ClassifyReading(readings[i])
+			if err != nil {
+				return false
+			}
+			b, err := clone.ClassifyReading(readings[i])
+			if err != nil {
+				return false
+			}
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDecoderNeverPanics: arbitrary byte soup must produce an
+// error, not a panic or a hang.
+func TestPropertyDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := DecodeModel(bytes.NewReader(data))
+		return err != nil // decoding random bytes must always fail cleanly
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Corrupted valid descriptors too: flip one byte anywhere.
+	readings, labels := randomReadings(7, 120)
+	m, err := BuildModel(readings, labels, ConstructorConfig{Classifier: KindNB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), valid...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= byte(1 + rng.Intn(255))
+		// Must not panic; error or a well-formed (if semantically
+		// different) model are both acceptable.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on corrupted byte %d: %v", pos, r)
+				}
+			}()
+			model, err := DecodeModel(bytes.NewReader(corrupt))
+			if err == nil && model != nil {
+				// Classification must still not panic.
+				_, _ = model.ClassifyReading(readings[0])
+			}
+		}()
+	}
+}
+
+// TestPropertyModelDeterminism: same inputs and seed give byte-identical
+// descriptors.
+func TestPropertyModelDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		readings, labels := randomReadings(seed, 150)
+		encode := func() []byte {
+			m, err := BuildModel(readings, labels, ConstructorConfig{
+				ClusterK: 2, Classifier: KindSVM, Seed: seed,
+			})
+			if err != nil {
+				t.Logf("build: %v", err)
+				return nil
+			}
+			var buf bytes.Buffer
+			if err := EncodeModel(&buf, m); err != nil {
+				return nil
+			}
+			return buf.Bytes()
+		}
+		a := encode()
+		b := encode()
+		return a != nil && bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// trustedStore builds a dense trusted grid with RSS smoothly varying east
+// to west.
+func trustedStore(n int, seed int64) []dataset.Reading {
+	rng := rand.New(rand.NewSource(seed))
+	origin := rfenv.MetroCenter
+	out := make([]dataset.Reading, 0, n)
+	for i := 0; i < n; i++ {
+		loc := origin.Offset(rng.Float64()*360, rng.Float64()*5000)
+		// East side hot, west side quiet, smooth gradient.
+		rss := -100 + 25*(loc.Lon-origin.Lon)/0.05 + rng.NormFloat64()
+		out = append(out, dataset.Reading{
+			Seq: i, Loc: loc, Channel: 47, Sensor: sensor.KindRTLSDR,
+			Signal: features.Signal{RSSdBm: rss, CFTdB: rss - 11.3, AFTdB: rss - 13},
+		})
+	}
+	return out
+}
+
+func newValidator(t *testing.T) (*UploadValidator, []dataset.Reading) {
+	t.Helper()
+	trusted := trustedStore(2000, 1)
+	v, err := NewUploadValidator(trusted, ValidatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, trusted
+}
+
+func TestValidatorAcceptsHonestReading(t *testing.T) {
+	v, trusted := newValidator(t)
+	// An honest reading: near a trusted point with a similar RSS.
+	honest := trusted[10]
+	honest.Loc = honest.Loc.Offset(45, 50)
+	honest.Signal.RSSdBm += 2
+	if err := v.CheckReading(honest); err != nil {
+		t.Errorf("honest reading rejected: %v", err)
+	}
+}
+
+func TestValidatorRejectsSpoofedRSS(t *testing.T) {
+	v, trusted := newValidator(t)
+	// A malicious contributor claims the channel is quiet where it is
+	// loud (to free spectrum for itself) — 40 dB off the neighborhood.
+	spoof := trusted[10]
+	spoof.Signal.RSSdBm -= 40
+	if err := v.CheckReading(spoof); err == nil {
+		t.Error("40 dB under-report accepted")
+	}
+	// And the reverse: claiming occupancy to deny others.
+	jam := trusted[10]
+	jam.Signal.RSSdBm += 40
+	if err := v.CheckReading(jam); err == nil {
+		t.Error("40 dB over-report accepted")
+	}
+}
+
+func TestValidatorRejectsUncorroboratedLocation(t *testing.T) {
+	v, trusted := newValidator(t)
+	remote := trusted[0]
+	remote.Loc = rfenv.MetroCenter.Offset(0, 50000) // far outside the store
+	if err := v.CheckReading(remote); err == nil {
+		t.Error("reading in unmeasured area accepted")
+	}
+}
+
+func TestValidatorBatchPolicy(t *testing.T) {
+	v, trusted := newValidator(t)
+	mostlyHonest := UploadBatch{CISpanDB: 0.4}
+	for i := 0; i < 30; i++ {
+		r := trusted[i*3]
+		r.Signal.RSSdBm += 1
+		mostlyHonest.Readings = append(mostlyHonest.Readings, r)
+	}
+	// One bad apple in 31: below the 10% bound — filtered, not rejected.
+	bad := trusted[5]
+	bad.Signal.RSSdBm += 50
+	mostlyHonest.Readings = append(mostlyHonest.Readings, bad)
+
+	suspects, err := v.CheckBatch(mostlyHonest)
+	if err != nil {
+		t.Fatalf("batch with one suspect rejected: %v", err)
+	}
+	if len(suspects) != 1 {
+		t.Errorf("suspects = %v, want exactly the bad apple", suspects)
+	}
+	filtered, err := v.FilterBatch(mostlyHonest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Readings) != 30 {
+		t.Errorf("filtered batch has %d readings, want 30", len(filtered.Readings))
+	}
+
+	// A batch that is mostly fabricated is rejected outright.
+	attack := UploadBatch{CISpanDB: 0.4}
+	for i := 0; i < 20; i++ {
+		r := trusted[i]
+		r.Signal.RSSdBm -= 45
+		attack.Readings = append(attack.Readings, r)
+	}
+	if _, err := v.CheckBatch(attack); err == nil {
+		t.Error("fabricated batch accepted")
+	}
+	if _, err := v.FilterBatch(attack); err == nil {
+		t.Error("FilterBatch must propagate batch rejection")
+	}
+}
+
+func TestValidatorConfigValidation(t *testing.T) {
+	trusted := trustedStore(100, 2)
+	bad := []ValidatorConfig{
+		{NeighborhoodM: -1},
+		{ToleranceDB: -5},
+		{MinNeighbors: -2},
+		{MaxSuspectFrac: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewUploadValidator(trusted, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewUploadValidator(nil, ValidatorConfig{}); err == nil {
+		t.Error("empty trusted store accepted")
+	}
+	v, err := NewUploadValidator(trusted, ValidatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.CheckBatch(UploadBatch{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

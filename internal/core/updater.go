@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+)
+
+// UploadBatch is a set of readings a WSD submits after a local detection,
+// together with the noise level the detector achieved. The Global Model
+// Updater only accepts batches whose confidence-interval span meets the
+// acceptance criterion α′ (§3.4).
+type UploadBatch struct {
+	// Readings are the location-tagged measurements used for the local
+	// decision.
+	Readings []dataset.Reading
+	// CISpanDB is the detector's final 90 % CI span for the batch.
+	CISpanDB float64
+}
+
+// Updater is the Global Model Updater for one channel/sensor model: it
+// accumulates trusted readings (bootstrap war-driving plus accepted WSD
+// uploads), relabels with Algorithm 1, and retrains the model. It is safe
+// for concurrent use.
+type Updater struct {
+	mu sync.Mutex
+
+	cfg      ConstructorConfig
+	labelCfg dataset.LabelConfig
+	// alphaPrime is the maximum accepted upload CI span (dB).
+	alphaPrime float64
+
+	readings []dataset.Reading
+	model    *Model
+	version  int
+}
+
+// UpdaterConfig assembles an Updater.
+type UpdaterConfig struct {
+	// Constructor configures model building.
+	Constructor ConstructorConfig
+	// Labeling configures Algorithm 1.
+	Labeling dataset.LabelConfig
+	// AlphaPrimeDB is the upload acceptance criterion; default 1.0 dB.
+	AlphaPrimeDB float64
+}
+
+// NewUpdater builds an updater with no data; call Submit or Bootstrap
+// before Retrain.
+func NewUpdater(cfg UpdaterConfig) (*Updater, error) {
+	if cfg.AlphaPrimeDB == 0 {
+		cfg.AlphaPrimeDB = 1.0
+	}
+	if cfg.AlphaPrimeDB < 0 {
+		return nil, fmt.Errorf("core: negative alpha' %v", cfg.AlphaPrimeDB)
+	}
+	if err := cfg.Constructor.defaults(); err != nil {
+		return nil, err
+	}
+	return &Updater{
+		cfg:        cfg.Constructor,
+		labelCfg:   cfg.Labeling,
+		alphaPrime: cfg.AlphaPrimeDB,
+	}, nil
+}
+
+// Bootstrap seeds the store with trusted measurements (war driving or
+// dedicated infrastructure, §6) without the α′ check.
+func (u *Updater) Bootstrap(readings []dataset.Reading) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.readings = append(u.readings, readings...)
+}
+
+// Submit offers a WSD upload. Batches that fail the α′ noise criterion are
+// rejected — noisy contributions would poison Algorithm 1's labels.
+func (u *Updater) Submit(batch UploadBatch) error {
+	if len(batch.Readings) == 0 {
+		return fmt.Errorf("core: empty upload")
+	}
+	if batch.CISpanDB > u.alphaPrime {
+		return fmt.Errorf("core: upload CI span %.2f dB exceeds acceptance criterion %.2f dB",
+			batch.CISpanDB, u.alphaPrime)
+	}
+	ch, sens := batch.Readings[0].Channel, batch.Readings[0].Sensor
+	for i := range batch.Readings {
+		if batch.Readings[i].Channel != ch || batch.Readings[i].Sensor != sens {
+			return fmt.Errorf("core: mixed channels/sensors in upload")
+		}
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.readings) > 0 {
+		if u.readings[0].Channel != ch || u.readings[0].Sensor != sens {
+			return fmt.Errorf("core: upload is %v/%v, store is %v/%v",
+				ch, sens, u.readings[0].Channel, u.readings[0].Sensor)
+		}
+	}
+	u.readings = append(u.readings, batch.Readings...)
+	return nil
+}
+
+// Size returns the number of stored readings.
+func (u *Updater) Size() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.readings)
+}
+
+// Readings returns a copy of the stored readings (for export and
+// persistence).
+func (u *Updater) Readings() []dataset.Reading {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return append([]dataset.Reading(nil), u.readings...)
+}
+
+// Retrain relabels the full store with Algorithm 1 and rebuilds the model,
+// bumping the version.
+func (u *Updater) Retrain() (*Model, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.readings) == 0 {
+		return nil, fmt.Errorf("core: no readings to train on")
+	}
+	labels, err := dataset.LabelReadings(u.readings, u.labelCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: relabel: %w", err)
+	}
+	model, err := BuildModel(u.readings, labels, u.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	u.model = model
+	u.version++
+	return model, nil
+}
+
+// Model returns the current model and its version (nil, 0 before the first
+// Retrain).
+func (u *Updater) Model() (*Model, int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.model, u.version
+}

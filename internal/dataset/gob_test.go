@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	readings := randomSet(1, 300)
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, readings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(readings) {
+		t.Fatalf("round trip count = %d, want %d", len(back), len(readings))
+	}
+	for i := range back {
+		if back[i] != readings[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, back[i], readings[i])
+		}
+	}
+}
+
+func TestGobRejectsGarbage(t *testing.T) {
+	if _, err := ReadGob(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage must fail")
+	}
+	// A snapshot with an invalid reading inside must fail validation.
+	bad := randomSet(2, 5)
+	bad[3].Channel = 99
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGob(&buf); err == nil {
+		t.Error("invalid channel must fail validation")
+	}
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+func TestAntennaHeightDefault(t *testing.T) {
+	r := mkReading(0, testOrigin, -90)
+	if h := r.AntennaHeightM(); h != DefaultAntennaHeightM {
+		t.Errorf("default height = %v", h)
+	}
+	r.AltM = 30
+	if h := r.AntennaHeightM(); h != 30 {
+		t.Errorf("explicit height = %v", h)
+	}
+	r.AltM = -5
+	if h := r.AntennaHeightM(); h != DefaultAntennaHeightM {
+		t.Errorf("negative height should fall back: %v", h)
+	}
+}
+
+// TestHeightNormalizationReconcilesFloors is the §6 scenario: two
+// measurements of the same TV field, one at street level and one on a
+// tenth floor. The elevated reading is stronger by Hata's height gain; raw
+// labeling flags it hot while the street reading stays cold. With
+// NormalizeHeight both agree.
+func TestHeightNormalizationReconcilesFloors(t *testing.T) {
+	const fieldAt10m = -82.0 // regulatory-height field: decodable
+	gain := rfenv.MobileAntennaCorrectionDB(10) - rfenv.MobileAntennaCorrectionDB(2)
+	street := mkReading(0, testOrigin, fieldAt10m-gain) // what a 2 m antenna sees
+	street.AltM = 2
+	tower := mkReading(1, testOrigin.Offset(0, 100000), fieldAt10m) // 10 m antenna, far away
+	tower.AltM = 10
+
+	// Raw labeling: the street reading (−89.4) looks Safe, the elevated
+	// one (−82) looks NotSafe — same field, contradictory labels.
+	raw, err := LabelReadings([]Reading{street, tower}, LabelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != LabelSafe || raw[1] != LabelNotSafe {
+		t.Fatalf("raw labels = %v, expected the height contradiction", raw)
+	}
+
+	// Height-normalized labeling maps both to the 10 m reference: both
+	// read ≈−82 → both NotSafe.
+	norm, err := LabelReadings([]Reading{street, tower}, LabelConfig{NormalizeHeight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm[0] != LabelNotSafe || norm[1] != LabelNotSafe {
+		t.Errorf("normalized labels = %v, want both not-safe", norm)
+	}
+}
+
+func TestEffectiveRSSComposition(t *testing.T) {
+	cfg := LabelConfig{CorrectionDB: 3, NormalizeHeight: true}.withDefaults()
+	r := mkReading(0, testOrigin, -90)
+	r.AltM = 10 // already at reference: normalization adds nothing
+	got := cfg.effectiveRSS(&r)
+	if math.Abs(got-(-87)) > 1e-9 {
+		t.Errorf("effective RSS = %v, want −87 (correction only)", got)
+	}
+	r.AltM = 2
+	got = cfg.effectiveRSS(&r)
+	want := -87 + rfenv.MobileAntennaCorrectionDB(10) - rfenv.MobileAntennaCorrectionDB(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("effective RSS = %v, want %v", got, want)
+	}
+}
+
+func TestCSVCarriesAltitude(t *testing.T) {
+	r := mkReading(0, testOrigin, -90)
+	r.AltM = 27.5
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Reading{r}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].AltM != 27.5 {
+		t.Errorf("alt round trip = %v", back[0].AltM)
+	}
+}

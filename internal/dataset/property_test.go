@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+func randomSet(seed int64, n int) []Reading {
+	rng := rand.New(rand.NewSource(seed))
+	origin := geo.Point{Lat: 33.749, Lon: -84.388}
+	out := make([]Reading, n)
+	for i := range out {
+		rss := -110 + rng.Float64()*40
+		out[i] = Reading{
+			Seq:     i,
+			Loc:     origin.Offset(rng.Float64()*360, rng.Float64()*15000),
+			Channel: 22,
+			Sensor:  sensor.KindRTLSDR,
+			Signal:  features.Signal{RSSdBm: rss, CFTdB: rss - 11, AFTdB: rss - 13},
+		}
+	}
+	return out
+}
+
+// TestPropertyLabelMonotoneInThreshold: lowering the threshold (more
+// conservative) can only flip labels Safe→NotSafe, never the reverse.
+func TestPropertyLabelMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		readings := randomSet(seed, 250)
+		loose, err := LabelReadings(readings, LabelConfig{ThresholdDBm: -80})
+		if err != nil {
+			return false
+		}
+		tight, err := LabelReadings(readings, LabelConfig{ThresholdDBm: -95})
+		if err != nil {
+			return false
+		}
+		for i := range loose {
+			if loose[i] == LabelNotSafe && tight[i] == LabelSafe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLabelMonotoneInRadius: growing the protection radius can
+// only remove white space.
+func TestPropertyLabelMonotoneInRadius(t *testing.T) {
+	f := func(seed int64) bool {
+		readings := randomSet(seed, 250)
+		small, err := LabelReadings(readings, LabelConfig{ProtectRadiusM: 1700})
+		if err != nil {
+			return false
+		}
+		large, err := LabelReadings(readings, LabelConfig{ProtectRadiusM: 9000})
+		if err != nil {
+			return false
+		}
+		for i := range small {
+			if small[i] == LabelNotSafe && large[i] == LabelSafe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLabelMonotoneInData: adding readings can only flip labels of
+// the original readings Safe→NotSafe (new hot readings poison, cold ones
+// are inert).
+func TestPropertyLabelMonotoneInData(t *testing.T) {
+	f := func(seed int64) bool {
+		readings := randomSet(seed, 200)
+		base, err := LabelReadings(readings, LabelConfig{})
+		if err != nil {
+			return false
+		}
+		extended := append(append([]Reading(nil), readings...), randomSet(seed+1, 60)...)
+		ext, err := LabelReadings(extended, LabelConfig{})
+		if err != nil {
+			return false
+		}
+		for i := range base {
+			if base[i] == LabelNotSafe && ext[i] == LabelSafe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLabelPermutationInvariant: labels depend on geometry, not on
+// reading order.
+func TestPropertyLabelPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		readings := randomSet(seed, 200)
+		base, err := LabelReadings(readings, LabelConfig{})
+		if err != nil {
+			return false
+		}
+		perm := rand.New(rand.NewSource(seed + 99)).Perm(len(readings))
+		shuffled := make([]Reading, len(readings))
+		for i, j := range perm {
+			shuffled[i] = readings[j]
+		}
+		got, err := LabelReadings(shuffled, LabelConfig{})
+		if err != nil {
+			return false
+		}
+		for i, j := range perm {
+			if got[i] != base[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCSVRoundTrip: any reading set survives the CSV codec.
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		readings := randomSet(seed, 60)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, readings); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil || len(back) != len(readings) {
+			return false
+		}
+		for i := range back {
+			if back[i].Seq != readings[i].Seq ||
+				back[i].Channel != readings[i].Channel ||
+				back[i].Sensor != readings[i].Sensor {
+				return false
+			}
+			if back[i].Loc.DistanceM(readings[i].Loc) > 0.5 {
+				return false
+			}
+			if d := back[i].Signal.RSSdBm - readings[i].Signal.RSSdBm; d > 0.001 || d < -0.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

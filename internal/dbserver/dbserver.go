@@ -1,0 +1,384 @@
+// Package dbserver implements Waldo's central spectrum database as an HTTP
+// service (paper §3.1, Fig. 8): it stores trusted location-tagged
+// measurements per channel and sensor family, runs the Model Constructor,
+// serves compact model descriptors to White Space Devices, and accepts
+// measurement uploads for the Global Model Updater.
+//
+// Unlike a conventional spectrum database — queried once per location —
+// a Waldo WSD downloads one descriptor per channel covering tens of square
+// kilometers and then decides locally.
+package dbserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Server is the central spectrum database.
+type Server struct {
+	mu       sync.Mutex
+	updaters map[storeKey]*core.Updater
+	cfg      Config
+}
+
+type storeKey struct {
+	ch   rfenv.Channel
+	kind sensor.Kind
+}
+
+// Config parameterizes the database.
+type Config struct {
+	// Constructor configures model building for every channel.
+	Constructor core.ConstructorConfig
+	// Labeling configures Algorithm 1.
+	Labeling dataset.LabelConfig
+	// AlphaPrimeDB is the upload acceptance criterion (§3.4); 0 means 1 dB.
+	AlphaPrimeDB float64
+	// Screening, when set, corroborates every upload against the trusted
+	// store before acceptance (§3.4 security: suspect readings are
+	// dropped, mostly-fabricated batches rejected).
+	Screening *core.ValidatorConfig
+}
+
+// New returns an empty database server.
+func New(cfg Config) *Server {
+	return &Server{updaters: make(map[storeKey]*core.Updater), cfg: cfg}
+}
+
+// updaterFor returns (creating if needed) the updater for a channel/sensor.
+func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := storeKey{ch, kind}
+	if u, ok := s.updaters[key]; ok {
+		return u, nil
+	}
+	u, err := core.NewUpdater(core.UpdaterConfig{
+		Constructor:  s.cfg.Constructor,
+		Labeling:     s.cfg.Labeling,
+		AlphaPrimeDB: s.cfg.AlphaPrimeDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.updaters[key] = u
+	return u, nil
+}
+
+// Bootstrap seeds the database with trusted campaign readings and trains
+// initial models for every channel/sensor present.
+func (s *Server) Bootstrap(readings []dataset.Reading) error {
+	byKey := make(map[storeKey][]dataset.Reading)
+	for i := range readings {
+		key := storeKey{readings[i].Channel, readings[i].Sensor}
+		byKey[key] = append(byKey[key], readings[i])
+	}
+	for key, rs := range byKey {
+		u, err := s.updaterFor(key.ch, key.kind)
+		if err != nil {
+			return fmt.Errorf("dbserver: %v/%v: %w", key.ch, key.kind, err)
+		}
+		u.Bootstrap(rs)
+		if _, err := u.Retrain(); err != nil {
+			return fmt.Errorf("dbserver: train %v/%v: %w", key.ch, key.kind, err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/readings", s.handleReadings)
+	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
+	mux.HandleFunc("GET /v1/export", s.handleExport)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func parseKey(r *http.Request) (rfenv.Channel, sensor.Kind, error) {
+	chStr := r.URL.Query().Get("channel")
+	kindStr := r.URL.Query().Get("sensor")
+	chInt, err := strconv.Atoi(chStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad channel %q", chStr)
+	}
+	kInt, err := strconv.Atoi(kindStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad sensor %q", kindStr)
+	}
+	ch := rfenv.Channel(chInt)
+	if !ch.Valid() {
+		return 0, 0, fmt.Errorf("channel %d outside TV band", chInt)
+	}
+	kind := sensor.Kind(kInt)
+	if _, err := sensor.SpecFor(kind); err != nil {
+		return 0, 0, err
+	}
+	return ch, kind, nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	ch, kind, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	u, ok := s.updaters[storeKey{ch, kind}]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no model for this channel/sensor", http.StatusNotFound)
+		return
+	}
+	model, version := u.Model()
+	if model == nil {
+		http.Error(w, "model not trained yet", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := core.EncodeModel(&buf, model); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Waldo-Model-Version", strconv.Itoa(version))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // client went away
+	}
+}
+
+// ReadingJSON is the wire form of one uploaded reading.
+type ReadingJSON struct {
+	Seq     int     `json:"seq"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+	Channel int     `json:"channel"`
+	Sensor  int     `json:"sensor"`
+	RSSdBm  float64 `json:"rss_dbm"`
+	CFTdB   float64 `json:"cft_db"`
+	AFTdB   float64 `json:"aft_db"`
+	// AltM is the reporting device's antenna height (§6 altitude
+	// extension); 0 means the default ground-level assumption.
+	AltM float64 `json:"alt_m,omitempty"`
+}
+
+// UploadJSON is the wire form of a WSD measurement upload.
+type UploadJSON struct {
+	CISpanDB float64       `json:"ci_span_db"`
+	Readings []ReadingJSON `json:"readings"`
+}
+
+// ToReading converts the wire form, validating fields.
+func (rj ReadingJSON) ToReading() (dataset.Reading, error) {
+	ch := rfenv.Channel(rj.Channel)
+	if !ch.Valid() {
+		return dataset.Reading{}, fmt.Errorf("invalid channel %d", rj.Channel)
+	}
+	kind := sensor.Kind(rj.Sensor)
+	if _, err := sensor.SpecFor(kind); err != nil {
+		return dataset.Reading{}, err
+	}
+	loc := geo.Point{Lat: rj.Lat, Lon: rj.Lon}
+	if !loc.Valid() {
+		return dataset.Reading{}, fmt.Errorf("invalid location %v", loc)
+	}
+	if rj.AltM < 0 {
+		return dataset.Reading{}, fmt.Errorf("negative antenna height %v", rj.AltM)
+	}
+	return dataset.Reading{
+		Seq:     rj.Seq,
+		Loc:     loc,
+		Channel: ch,
+		Sensor:  kind,
+		Signal:  features.Signal{RSSdBm: rj.RSSdBm, CFTdB: rj.CFTdB, AFTdB: rj.AFTdB},
+		AltM:    rj.AltM,
+	}, nil
+}
+
+// FromReading converts to the wire form.
+func FromReading(r dataset.Reading) ReadingJSON {
+	return ReadingJSON{
+		Seq:     r.Seq,
+		Lat:     r.Loc.Lat,
+		Lon:     r.Loc.Lon,
+		Channel: int(r.Channel),
+		Sensor:  int(r.Sensor),
+		RSSdBm:  r.Signal.RSSdBm,
+		CFTdB:   r.Signal.CFTdB,
+		AFTdB:   r.Signal.AFTdB,
+		AltM:    r.AltM,
+	}
+}
+
+func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
+	var up UploadJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&up); err != nil {
+		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(up.Readings) == 0 {
+		http.Error(w, "empty upload", http.StatusBadRequest)
+		return
+	}
+	batch := core.UploadBatch{CISpanDB: up.CISpanDB}
+	for i, rj := range up.Readings {
+		rd, err := rj.ToReading()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		batch.Readings = append(batch.Readings, rd)
+	}
+	u, err := s.updaterFor(batch.Readings[0].Channel, batch.Readings[0].Sensor)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.cfg.Screening != nil {
+		trusted := u.Readings()
+		if len(trusted) == 0 {
+			http.Error(w, "store has no trusted readings to corroborate against", http.StatusUnprocessableEntity)
+			return
+		}
+		v, err := core.NewUploadValidator(trusted, *s.cfg.Screening)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		filtered, err := v.FilterBatch(batch)
+		if err != nil {
+			http.Error(w, "upload failed corroboration: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		batch = filtered
+	}
+	if err := u.Submit(batch); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	ch, kind, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	u, ok := s.updaters[storeKey{ch, kind}]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no data for this channel/sensor", http.StatusNotFound)
+		return
+	}
+	if _, err := u.Retrain(); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	_, version := u.Model()
+	w.Header().Set("X-Waldo-Model-Version", strconv.Itoa(version))
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleExport streams one store's readings as CSV — the operator path
+// for backing up or migrating the trusted measurement corpus.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	ch, kind, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	u, ok := s.updaters[storeKey{ch, kind}]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no data for this channel/sensor", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := dataset.WriteCSV(w, u.Readings()); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+// StatsJSON is one store's operational snapshot.
+type StatsJSON struct {
+	Channel      int `json:"channel"`
+	Sensor       int `json:"sensor"`
+	Readings     int `json:"readings"`
+	ModelVersion int `json:"model_version"`
+	ModelBytes   int `json:"model_bytes"`
+}
+
+// handleStats reports store sizes and model versions for every
+// channel/sensor pair.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	keys := make([]storeKey, 0, len(s.updaters))
+	for k := range s.updaters {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ch != keys[j].ch {
+			return keys[i].ch < keys[j].ch
+		}
+		return keys[i].kind < keys[j].kind
+	})
+
+	stats := make([]StatsJSON, 0, len(keys))
+	for _, k := range keys {
+		s.mu.Lock()
+		u := s.updaters[k]
+		s.mu.Unlock()
+		model, version := u.Model()
+		entry := StatsJSON{
+			Channel:      int(k.ch),
+			Sensor:       int(k.kind),
+			Readings:     u.Size(),
+			ModelVersion: version,
+		}
+		if model != nil {
+			if n, err := core.EncodedSize(model); err == nil {
+				entry.ModelBytes = n
+			}
+		}
+		stats = append(stats, entry)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(stats); err != nil {
+		return // client went away
+	}
+}
+
+// StoreSize reports the number of stored readings for a channel/sensor.
+func (s *Server) StoreSize(ch rfenv.Channel, kind sensor.Kind) int {
+	s.mu.Lock()
+	u, ok := s.updaters[storeKey{ch, kind}]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return u.Size()
+}

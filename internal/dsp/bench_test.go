@@ -1,0 +1,67 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// BenchmarkFFT256 is the per-capture cost on the mobile WSD (256 I/Q
+// samples per reading, §2.1).
+func BenchmarkFFT256(b *testing.B) {
+	x := benchSignal(256)
+	buf := make([]complex128, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := benchSignal(4096)
+	buf := make([]complex128, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 95)
+	}
+}
+
+func BenchmarkMeanCI(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MeanCI(xs, 0.9)
+	}
+}

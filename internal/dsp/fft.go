@@ -1,0 +1,105 @@
+// Package dsp implements the signal-processing primitives the Waldo
+// pipeline needs: a radix-2 FFT, window functions, summary statistics,
+// percentile and confidence-interval machinery, empirical CDFs, and the
+// special functions backing ANOVA p-values.
+//
+// Everything is deterministic and allocation-conscious: feature extraction
+// runs once per I/Q capture on the mobile white-space device, so the FFT and
+// statistics here are the per-reading hot path (paper §5 measures this cost
+// as CPU overhead).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two. The transform is unnormalized
+// (X[k] = Σ x[n]·e^{-2πi kn/N}).
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, normalized by 1/N so that
+// IFFT(FFT(x)) == x. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := start; k < start+half; k++ {
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// PowerSpectrum returns the per-bin power |X[k]|²/N² of the FFT of x,
+// leaving x untouched. Bins are returned in standard FFT order (DC first).
+func PowerSpectrum(x []complex128) ([]float64, error) {
+	buf := make([]complex128, len(x))
+	copy(buf, x)
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	n := float64(len(x))
+	ps := make([]float64, len(buf))
+	for i, c := range buf {
+		re, im := real(c), imag(c)
+		ps[i] = (re*re + im*im) / (n * n)
+	}
+	return ps, nil
+}
+
+// FFTShift reorders a spectrum so that DC sits at the center bin, the usual
+// presentation for baseband captures where the channel center (and the ATSC
+// pilot offset) is referenced to the middle of the band.
+func FFTShift(ps []float64) []float64 {
+	n := len(ps)
+	out := make([]float64, n)
+	half := (n + 1) / 2
+	copy(out, ps[half:])
+	copy(out[n-half:], ps[:half])
+	return out
+}

@@ -1,0 +1,155 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 100} {
+		x := make([]complex128, n)
+		if err := FFT(x); err == nil {
+			t.Errorf("FFT(len=%d) should fail", n)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if err := FFT(nil); err != nil {
+		t.Errorf("FFT(nil) = %v", err)
+	}
+	x := []complex128{3 + 4i}
+	if err := FFT(x); err != nil || x[0] != 3+4i {
+		t.Errorf("FFT single = %v, %v", x, err)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k concentrates all energy in that bin.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * float64(k) * float64(i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for bin, v := range x {
+		mag := cmplx.Abs(v)
+		if bin == k {
+			if math.Abs(mag-float64(n)) > 1e-9 {
+				t.Errorf("bin %d magnitude = %v, want %v", bin, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want ~0", bin, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64, 256, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d round trip failed at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestFFTParseval checks energy conservation: Σ|x|² == Σ|X|²/N.
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 256
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= n
+		return math.Abs(timeEnergy-freqEnergy) < 1e-8*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerSpectrumDC(t *testing.T) {
+	// Constant signal: all power in the DC bin, equal to amplitude².
+	x := make([]complex128, 32)
+	for i := range x {
+		x[i] = 2
+	}
+	ps, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps[0]-4) > 1e-12 {
+		t.Errorf("DC power = %v, want 4", ps[0])
+	}
+	for k := 1; k < len(ps); k++ {
+		if ps[k] > 1e-12 {
+			t.Errorf("bin %d power = %v, want 0", k, ps[k])
+		}
+	}
+	// Input must be untouched.
+	for i := range x {
+		if x[i] != 2 {
+			t.Fatal("PowerSpectrum mutated its input")
+		}
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	ps := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	shifted := FFTShift(ps)
+	want := []float64{4, 5, 6, 7, 0, 1, 2, 3}
+	for i := range want {
+		if shifted[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", shifted, want)
+		}
+	}
+	// DC (index 0) must land at the center bin n/2.
+	if shifted[4] != 0 {
+		t.Errorf("DC bin not centered: %v", shifted)
+	}
+}

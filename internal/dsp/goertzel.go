@@ -1,0 +1,50 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goertzel computes the power of a single DFT bin in O(n) time and O(1)
+// space — the classic tone detector. It matters here because the CFT
+// feature needs exactly one bin: §5 observes that Waldo's per-capture
+// processing exceeds the IEEE 802.22 sensing budget on 2015 phone hardware
+// and points at hardware-level spectral processing as the fix; Goertzel is
+// the software form of that fix, replacing the 256-point FFT when only the
+// pilot bin is needed (see BenchmarkGoertzelVsFFT).
+//
+// The returned value matches PowerSpectrum's normalization (|X[k]|²/n²),
+// so it is drop-in comparable with Spectrum bin powers. bin is an FFT-order
+// index in [0, n).
+func Goertzel(samples []complex128, bin int) (float64, error) {
+	n := len(samples)
+	if n == 0 {
+		return 0, fmt.Errorf("dsp: goertzel on empty input")
+	}
+	if bin < 0 || bin >= n {
+		return 0, fmt.Errorf("dsp: goertzel bin %d outside [0, %d)", bin, n)
+	}
+	// Complex-input Goertzel: run the recurrence on the complex samples.
+	w := 2 * math.Pi * float64(bin) / float64(n)
+	coef := complex(2*math.Cos(w), 0)
+	rot := complex(math.Cos(w), math.Sin(w))
+
+	var s1, s2 complex128
+	for _, x := range samples {
+		s0 := x + coef*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// X[k] = e^{jw}·s1 − s2 (up to a phase factor irrelevant for power).
+	xk := rot*s1 - s2
+	re, im := real(xk), imag(xk)
+	nn := float64(n)
+	return (re*re + im*im) / (nn * nn), nil
+}
+
+// GoertzelCentered returns the power of the FFT-shifted center bin — the
+// pilot-region bin the CFT feature reads. The shifted center is the DC
+// bin (FFT bin 0): captures are tuned so the pilot sits at baseband DC.
+func GoertzelCentered(samples []complex128) (float64, error) {
+	return Goertzel(samples, 0)
+}

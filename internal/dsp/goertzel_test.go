@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGoertzelMatchesFFT: the Goertzel bin power must equal the FFT's for
+// every bin of random signals.
+func TestGoertzelMatchesFFT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ps, err := PowerSpectrum(x)
+		if err != nil {
+			return false
+		}
+		for bin := 0; bin < n; bin++ {
+			g, err := Goertzel(x, bin)
+			if err != nil {
+				return false
+			}
+			if math.Abs(g-ps[bin]) > 1e-9*(1+ps[bin]) {
+				t.Logf("seed %d bin %d: goertzel %v vs fft %v", seed, bin, g, ps[bin])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoertzelCenteredMatchesSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	sp, err := NewSpectrumLike(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GoertzelCentered(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-sp) > 1e-9*(1+sp) {
+		t.Errorf("centered goertzel %v vs spectrum center %v", g, sp)
+	}
+}
+
+// NewSpectrumLike mirrors iq.NewSpectrum's center-bin read without the
+// import cycle: shifted center = FFT bin n/2.
+func NewSpectrumLike(x []complex128) (float64, error) {
+	ps, err := PowerSpectrum(x)
+	if err != nil {
+		return 0, err
+	}
+	return FFTShift(ps)[len(ps)/2], nil
+}
+
+func TestGoertzelValidation(t *testing.T) {
+	if _, err := Goertzel(nil, 0); err == nil {
+		t.Error("empty input must fail")
+	}
+	x := make([]complex128, 8)
+	if _, err := Goertzel(x, -1); err == nil {
+		t.Error("negative bin must fail")
+	}
+	if _, err := Goertzel(x, 8); err == nil {
+		t.Error("out-of-range bin must fail")
+	}
+	// Goertzel works on non-power-of-two lengths, unlike the FFT.
+	y := make([]complex128, 100)
+	y[0] = 1
+	if _, err := Goertzel(y, 3); err != nil {
+		t.Errorf("length-100 goertzel: %v", err)
+	}
+}
+
+// BenchmarkGoertzelVsFFT quantifies the §5 hardware-offload argument: one
+// bin via Goertzel vs the full 256-point FFT.
+func BenchmarkGoertzelCenter256(b *testing.B) {
+	x := benchSignal(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GoertzelCentered(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

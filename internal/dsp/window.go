@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a tapering function applied to a capture before the FFT to
+// trade resolution for spectral-leakage suppression. The CFT feature reads
+// a single DFT bin: with the RTL-SDR's tuner error moving the pilot off
+// bin centers, a rectangular window scallops up to 3.9 dB while a Hann
+// window bounds the loss near 1.4 dB at the cost of a wider main lobe.
+type Window int
+
+// Supported windows.
+const (
+	WindowRect Window = iota + 1
+	WindowHann
+	WindowHamming
+	WindowBlackman
+)
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	switch w {
+	case WindowRect:
+		return "rect"
+	case WindowHann:
+		return "hann"
+	case WindowHamming:
+		return "hamming"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("dsp.Window(%d)", int(w))
+	}
+}
+
+// Coefficients returns the window's n coefficients, normalized so the
+// window has unit average power (Σw²/n = 1): applying it preserves the
+// expected power of white noise, keeping energy-detector calibration
+// valid.
+func (w Window) Coefficients(n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: window length %d", n)
+	}
+	out := make([]float64, n)
+	switch w {
+	case WindowRect:
+		for i := range out {
+			out[i] = 1
+		}
+		return out, nil
+	case WindowHann:
+		fillCosineSum(out, []float64{0.5, -0.5})
+	case WindowHamming:
+		fillCosineSum(out, []float64{0.54, -0.46})
+	case WindowBlackman:
+		fillCosineSum(out, []float64{0.42, -0.5, 0.08})
+	default:
+		return nil, fmt.Errorf("dsp: unknown window %d", int(w))
+	}
+	// Normalize to unit average power.
+	var p float64
+	for _, v := range out {
+		p += v * v
+	}
+	scale := math.Sqrt(float64(n) / p)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}
+
+// fillCosineSum fills out with Σ aₖ·cos(2πki/(n−1)).
+func fillCosineSum(out []float64, a []float64) {
+	n := len(out)
+	if n == 1 {
+		out[0] = 1
+		return
+	}
+	for i := range out {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		var v float64
+		for k, ak := range a {
+			v += ak * math.Cos(float64(k)*x)
+		}
+		out[i] = v
+	}
+}
+
+// Apply multiplies samples by the window in place.
+func (w Window) Apply(samples []complex128) error {
+	coef, err := w.Coefficients(len(samples))
+	if err != nil {
+		return err
+	}
+	for i := range samples {
+		samples[i] *= complex(coef[i], 0)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowCoefficients(t *testing.T) {
+	for _, w := range []Window{WindowRect, WindowHann, WindowHamming, WindowBlackman} {
+		coef, err := w.Coefficients(256)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if len(coef) != 256 {
+			t.Fatalf("%v: %d coefficients", w, len(coef))
+		}
+		// Unit average power.
+		var p float64
+		for _, v := range coef {
+			p += v * v
+		}
+		if got := p / 256; math.Abs(got-1) > 1e-12 {
+			t.Errorf("%v: average power = %v, want 1", w, got)
+		}
+		// Symmetric.
+		for i := 0; i < 128; i++ {
+			if math.Abs(coef[i]-coef[255-i]) > 1e-12 {
+				t.Fatalf("%v: asymmetric at %d", w, i)
+			}
+		}
+		if w.String() == "" {
+			t.Errorf("%v: empty name", w)
+		}
+	}
+	if _, err := Window(99).Coefficients(8); err == nil {
+		t.Error("unknown window must fail")
+	}
+	if _, err := WindowHann.Coefficients(0); err == nil {
+		t.Error("zero length must fail")
+	}
+	if coef, err := WindowHann.Coefficients(1); err != nil || coef[0] != 1 {
+		t.Errorf("length-1 window: %v %v", coef, err)
+	}
+}
+
+func TestWindowPreservesNoisePower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	var raw, windowed float64
+	for trial := 0; trial < 200; trial++ {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		if err := WindowHann.Apply(y); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			raw += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			windowed += real(y[i])*real(y[i]) + imag(y[i])*imag(y[i])
+		}
+	}
+	if ratio := windowed / raw; math.Abs(ratio-1) > 0.02 {
+		t.Errorf("windowed/raw noise power = %v, want ≈1", ratio)
+	}
+}
+
+// TestHannReducesScalloping is the motivation: a tone at a half-bin offset
+// loses far less center-bin power under a Hann window.
+func TestHannReducesScalloping(t *testing.T) {
+	const n = 256
+	centerLoss := func(w Window, offsetBins float64) float64 {
+		x := make([]complex128, n)
+		for i := range x {
+			ang := 2 * math.Pi * offsetBins / n * float64(i)
+			x[i] = cmplx.Exp(complex(0, ang))
+		}
+		if err := w.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		// Tone synthesized at bin `offsetBins`; read bin 0 to measure
+		// how much a fractional offset drains the intended bin.
+		on := cmplx.Abs(x[0])
+		return -20 * math.Log10(on/float64(n))
+	}
+	rectLoss := centerLoss(WindowRect, 0.5) - centerLoss(WindowRect, 0)
+	hannLoss := centerLoss(WindowHann, 0.5) - centerLoss(WindowHann, 0)
+	if rectLoss < 3.5 || rectLoss > 4.3 {
+		t.Errorf("rect scalloping = %.2f dB, want ≈3.9", rectLoss)
+	}
+	if hannLoss > 1.8 {
+		t.Errorf("hann scalloping = %.2f dB, want ≲1.4", hannLoss)
+	}
+	if hannLoss >= rectLoss {
+		t.Error("hann must scallop less than rect")
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wsdetect/waldo/internal/baseline/vscope"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/ml/validate"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Table1Result reproduces Table 1 and Fig. 16: the quantitative comparison
+// between V-Scope and Waldo (SVM, location + RSS + CFT, no clustering).
+//
+// Paper values — V-Scope: FP 0.3632, FN 0.2029; Waldo-USRP: 0.0441/0.1068;
+// Waldo-RTL: 0.0685/0.0640; per-channel error gaps up to 10×.
+type Table1Result struct {
+	// VScope metrics are averaged over the evaluation channels.
+	VScope validate.Metrics
+	// WaldoUSRP and WaldoRTL are the 10-fold CV metrics.
+	WaldoUSRP validate.Metrics
+	WaldoRTL  validate.Metrics
+	// PerChannel carries Fig. 16's error-rate series.
+	PerChannel []Fig16Row
+}
+
+// Fig16Row is one channel's error-rate comparison.
+type Fig16Row struct {
+	Channel    rfenv.Channel
+	VScope     float64
+	WaldoUSRP  float64
+	WaldoRTL   float64
+	SpectrumDB float64
+}
+
+// Table1VScopeComparison trains V-Scope on the analyzer-grade readings (it
+// is a measurement-augmented database: its inputs come from the trusted
+// collection infrastructure) and compares against Waldo models built from
+// each low-cost sensor's own data. All systems are scored against the same
+// per-sensor Algorithm 1 labels the paper evaluates with.
+func (s *Suite) Table1VScopeComparison() (*Table1Result, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	env, err := s.Env()
+	if err != nil {
+		return nil, err
+	}
+
+	// V-Scope: fit per-cluster propagation models from the analyzer
+	// readings of each evaluation channel.
+	byChannel := make(map[rfenv.Channel][]dataset.Reading, len(rfenv.EvalChannels))
+	for _, ch := range rfenv.EvalChannels {
+		byChannel[ch] = camp.Readings(ch, sensor.KindSpectrumAnalyzer)
+	}
+	// V-Scope protects the fitted contour at −90 dBm: the −84 dBm
+	// decodability level plus a 6 dB shadow-fade margin, the standard
+	// practice for median-model contour protection (without the margin a
+	// median fit leaves every shadowing up-fade exposed).
+	vs, err := vscope.Train(byChannel, vscope.Config{
+		Transmitters: env.Transmitters(),
+		ClusterK:     3,
+		ThresholdDBm: -90,
+		Seed:         s.cfg.Seed + 500,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table1: train v-scope: %w", err)
+	}
+
+	db, err := newDefaultSpecDB(env)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	cfg := core.ConstructorConfig{
+		ClusterK:   1,
+		Classifier: core.KindSVM,
+		Features:   features.SetLocationRSSCFT,
+		Seed:       s.cfg.Seed + 501,
+	}
+	for _, ch := range rfenv.EvalChannels {
+		truth, err := s.GroundTruth(ch, 0)
+		if err != nil {
+			return nil, err
+		}
+		readings := camp.Readings(ch, sensor.KindSpectrumAnalyzer)
+
+		// V-Scope and the spectrum database answer from location only.
+		var vsM, dbM validate.Metrics
+		for i := range readings {
+			avail, err := vs.Available(ch, readings[i].Loc)
+			if err != nil {
+				return nil, fmt.Errorf("table1: v-scope %v: %w", ch, err)
+			}
+			vsM.Count(boolClass(avail), labelClass(truth[i]))
+			dbM.Count(boolClass(db.Available(ch, readings[i].Loc)), labelClass(truth[i]))
+		}
+		res.VScope.Add(vsM)
+
+		usrpM, err := s.channelCV(ch, sensor.KindUSRPB200, 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rtlM, err := s.channelCV(ch, sensor.KindRTLSDR, 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.WaldoUSRP.Add(usrpM)
+		res.WaldoRTL.Add(rtlM)
+		res.PerChannel = append(res.PerChannel, Fig16Row{
+			Channel:    ch,
+			VScope:     vsM.ErrorRate(),
+			WaldoUSRP:  usrpM.ErrorRate(),
+			WaldoRTL:   rtlM.ErrorRate(),
+			SpectrumDB: dbM.ErrorRate(),
+		})
+	}
+	return res, nil
+}
+
+func boolClass(available bool) int {
+	if available {
+		return 1
+	}
+	return -1
+}
+
+// BestErrorRatio returns Fig. 16's headline: the largest per-channel
+// V-Scope/Waldo error ratio (paper: up to 10×).
+func (r *Table1Result) BestErrorRatio() (rfenv.Channel, float64) {
+	bestCh := rfenv.Channel(0)
+	best := 0.0
+	for _, row := range r.PerChannel {
+		waldo := row.WaldoUSRP
+		if row.WaldoRTL < waldo {
+			waldo = row.WaldoRTL
+		}
+		// Channels Waldo solves (near-)perfectly would make the ratio
+		// arbitrary; the headline compares meaningful error rates.
+		if waldo < 0.005 {
+			continue
+		}
+		if ratio := row.VScope / waldo; ratio > best {
+			best = ratio
+			bestCh = row.Channel
+		}
+	}
+	return bestCh, best
+}
+
+// Render implements the experiment report.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: safety/efficiency comparison (channel-aggregated)\n")
+	b.WriteString("(paper: V-Scope 0.3632/0.2029, Waldo-USRP 0.0441/0.1068, Waldo-RTL 0.0685/0.0640)\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s\n", "system", "FP", "FN")
+	fmt.Fprintf(&b, "%-14s %8.4f %8.4f\n", "V-Scope", r.VScope.FPRate(), r.VScope.FNRate())
+	fmt.Fprintf(&b, "%-14s %8.4f %8.4f\n", "Waldo USRP", r.WaldoUSRP.FPRate(), r.WaldoUSRP.FNRate())
+	fmt.Fprintf(&b, "%-14s %8.4f %8.4f\n", "Waldo RTL-SDR", r.WaldoRTL.FPRate(), r.WaldoRTL.FNRate())
+	fpRatio := safeRatio(r.VScope.FPRate(), r.WaldoUSRP.FPRate())
+	fnRatio := safeRatio(r.VScope.FNRate(), r.WaldoRTL.FNRate())
+	fmt.Fprintf(&b, "FP ratio (V-Scope / Waldo-USRP) = %.1fx (paper 8.2x)\n", fpRatio)
+	fmt.Fprintf(&b, "FN ratio (V-Scope / Waldo-RTL)  = %.1fx (paper 3.2x)\n\n", fnRatio)
+
+	b.WriteString("Fig. 16: per-channel error rate\n")
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s %12s\n", "channel", "V-Scope", "Waldo USRP", "Waldo RTL", "spectrumDB")
+	for _, row := range r.PerChannel {
+		fmt.Fprintf(&b, "%-8v %10.4f %12.4f %12.4f %12.4f\n",
+			row.Channel, row.VScope, row.WaldoUSRP, row.WaldoRTL, row.SpectrumDB)
+	}
+	ch, ratio := r.BestErrorRatio()
+	fmt.Fprintf(&b, "best Waldo advantage: %.1fx on %v (paper: up to 10x)\n", ratio, ch)
+	return b.String()
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		b = 0.0005
+	}
+	return a / b
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dsp"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/ml/validate"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// --- Figs. 10–11: feature discriminability boxplots ---
+
+// FeatureBoxplot is one feature's five-number summaries per class.
+type FeatureBoxplot struct {
+	Feature string
+	Safe    dsp.FiveNumber
+	NotSafe dsp.FiveNumber
+	// ANOVA scores for the feature between the two classes.
+	F      float64
+	PValue float64
+}
+
+// Fig10Row is one (channel, sensor) panel of Figs. 10–11.
+type Fig10Row struct {
+	Channel rfenv.Channel
+	Kind    sensor.Kind
+	Boxes   []FeatureBoxplot
+}
+
+// Fig10Result reproduces Figs. 10 and 11 (channels 47 and 30, both
+// sensors) plus the §3.2 ANOVA feature-selection scores.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10and11FeatureBoxplots computes class-conditional feature summaries.
+func (s *Suite) Fig10and11FeatureBoxplots() (*Fig10Result, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	for _, ch := range []rfenv.Channel{47, 30} {
+		for _, kind := range []sensor.Kind{sensor.KindUSRPB200, sensor.KindRTLSDR} {
+			readings := camp.Readings(ch, kind)
+			labels, err := s.Labels(ch, kind, 0)
+			if err != nil {
+				return nil, err
+			}
+			var safe, notSafe []features.Signal
+			for i := range readings {
+				if labels[i] == dataset.LabelSafe {
+					safe = append(safe, readings[i].Signal)
+				} else {
+					notSafe = append(notSafe, readings[i].Signal)
+				}
+			}
+			scores := features.ScoreANOVA(safe, notSafe)
+			row := Fig10Row{Channel: ch, Kind: kind}
+			extract := func(sigs []features.Signal, f func(features.Signal) float64) []float64 {
+				out := make([]float64, len(sigs))
+				for i := range sigs {
+					out[i] = f(sigs[i])
+				}
+				return out
+			}
+			fields := []struct {
+				name string
+				fn   func(features.Signal) float64
+			}{
+				{"RSS", func(sg features.Signal) float64 { return sg.RSSdBm }},
+				{"CFT", func(sg features.Signal) float64 { return sg.CFTdB }},
+				{"AFT", func(sg features.Signal) float64 { return sg.AFTdB }},
+			}
+			for i, fl := range fields {
+				row.Boxes = append(row.Boxes, FeatureBoxplot{
+					Feature: fl.name,
+					Safe:    dsp.Summarize(extract(safe, fl.fn)),
+					NotSafe: dsp.Summarize(extract(notSafe, fl.fn)),
+					F:       scores[i].F,
+					PValue:  scores[i].PValue,
+				})
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figs. 10–11: feature boxplots per occupancy class (ch47, ch30)\n")
+	b.WriteString("(paper: all three features score ANOVA p ≈ 0 on all channels)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%v / %v:\n", row.Channel, row.Kind)
+		for _, box := range row.Boxes {
+			fmt.Fprintf(&b, "  %-4s not-safe[%7.1f %7.1f %7.1f]  safe[%7.1f %7.1f %7.1f]  F=%9.1f p=%.2e\n",
+				box.Feature,
+				box.NotSafe.Q1, box.NotSafe.Median, box.NotSafe.Q3,
+				box.Safe.Q1, box.Safe.Median, box.Safe.Q3,
+				box.F, box.PValue)
+		}
+	}
+	return b.String()
+}
+
+// --- Fig. 12: effect of adding signal features ---
+
+// Fig. 12 model variants. "nb" and "svm" run the normalized Waldo
+// constructor; "svm-legacy" reproduces the paper's raw-input OpenCV
+// configuration, whose location-only degeneracy is what makes adding
+// signal features so dramatic in the original figure.
+const (
+	VariantNB        = "nb"
+	VariantSVM       = "svm"
+	VariantLegacySVM = "svm-legacy"
+)
+
+// Fig12Variants lists the evaluated model variants.
+var Fig12Variants = []string{VariantNB, VariantSVM, VariantLegacySVM}
+
+// Fig12Cell is one (channel, sensor, variant, feature set) CV outcome.
+type Fig12Cell struct {
+	Channel rfenv.Channel
+	Kind    sensor.Kind
+	Variant string
+	Set     features.Set
+	Metrics validate.Metrics
+}
+
+// Fig12Result reproduces Fig. 12: per-channel error for location-only vs
+// location+signal models (a), and FP/FN vs number of features (b, c).
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// Fig12FeatureEffect cross-validates every combination over the seven
+// evaluation channels with no clustering (isolating the feature effect, as
+// in the paper's §4.3 first experiment).
+func (s *Suite) Fig12FeatureEffect() (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, kind := range []sensor.Kind{sensor.KindUSRPB200, sensor.KindRTLSDR} {
+		for _, variant := range Fig12Variants {
+			for _, set := range features.AllSets {
+				for _, ch := range rfenv.EvalChannels {
+					var m validate.Metrics
+					var err error
+					switch variant {
+					case VariantLegacySVM:
+						m, err = s.legacyChannelCV(ch, kind, set)
+					case VariantNB:
+						m, err = s.channelCV(ch, kind, 0, core.ConstructorConfig{
+							ClusterK: 1, Classifier: core.KindNB, Features: set, Seed: s.cfg.Seed + 100,
+						})
+					case VariantSVM:
+						m, err = s.channelCV(ch, kind, 0, core.ConstructorConfig{
+							ClusterK: 1, Classifier: core.KindSVM, Features: set, Seed: s.cfg.Seed + 100,
+						})
+					}
+					if err != nil {
+						return nil, fmt.Errorf("fig12 %v/%v/%s/%v: %w", ch, kind, variant, set, err)
+					}
+					res.Cells = append(res.Cells, Fig12Cell{
+						Channel: ch, Kind: kind, Variant: variant, Set: set, Metrics: m,
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ErrorByChannel returns Fig. 12a's series: per-channel error rate for one
+// sensor/variant at a feature set.
+func (r *Fig12Result) ErrorByChannel(kind sensor.Kind, variant string, set features.Set) map[rfenv.Channel]float64 {
+	out := make(map[rfenv.Channel]float64)
+	for _, c := range r.Cells {
+		if c.Kind == kind && c.Variant == variant && c.Set == set {
+			out[c.Channel] = c.Metrics.ErrorRate()
+		}
+	}
+	return out
+}
+
+// MeanRates returns Fig. 12b/c's series: channel-averaged FP and FN per
+// feature count for one sensor/variant.
+func (r *Fig12Result) MeanRates(kind sensor.Kind, variant string) (fp, fn map[int]float64) {
+	fp = make(map[int]float64)
+	fn = make(map[int]float64)
+	count := make(map[int]int)
+	for _, c := range r.Cells {
+		if c.Kind != kind || c.Variant != variant {
+			continue
+		}
+		n := c.Set.Count()
+		fp[n] += c.Metrics.FPRate()
+		fn[n] += c.Metrics.FNRate()
+		count[n]++
+	}
+	for n := range fp {
+		fp[n] /= float64(count[n])
+		fn[n] /= float64(count[n])
+	}
+	return fp, fn
+}
+
+// BestImprovement returns the largest per-channel error-rate ratio between
+// location-only and location+two-features for one sensor/variant (the
+// paper's "up to 5×" headline for Fig. 12a).
+func (r *Fig12Result) BestImprovement(kind sensor.Kind, variant string) (rfenv.Channel, float64) {
+	locOnly := r.ErrorByChannel(kind, variant, features.SetLocation)
+	full := r.ErrorByChannel(kind, variant, features.SetLocationRSSCFT)
+	bestCh := rfenv.Channel(0)
+	best := 0.0
+	for ch, e0 := range locOnly {
+		e1 := full[ch]
+		if e1 <= 0 {
+			e1 = 0.0005 // avoid infinite ratios on perfect channels
+		}
+		if ratio := e0 / e1; ratio > best {
+			best = ratio
+			bestCh = ch
+		}
+	}
+	return bestCh, best
+}
+
+// Render implements the experiment report.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12a: per-channel error rate (USRP), location-only vs location+signal\n")
+	b.WriteString("(svm-legacy reproduces the paper's raw-input configuration)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %10s %10s\n",
+		"channel", "NB loc", "NB loc+f", "SVM loc", "SVM loc+f", "LEG loc", "LEG loc+f")
+	nbLoc := r.ErrorByChannel(sensor.KindUSRPB200, VariantNB, features.SetLocation)
+	nbFull := r.ErrorByChannel(sensor.KindUSRPB200, VariantNB, features.SetLocationRSSCFT)
+	svmLoc := r.ErrorByChannel(sensor.KindUSRPB200, VariantSVM, features.SetLocation)
+	svmFull := r.ErrorByChannel(sensor.KindUSRPB200, VariantSVM, features.SetLocationRSSCFT)
+	legLoc := r.ErrorByChannel(sensor.KindUSRPB200, VariantLegacySVM, features.SetLocation)
+	legFull := r.ErrorByChannel(sensor.KindUSRPB200, VariantLegacySVM, features.SetLocationRSSCFT)
+	for _, ch := range rfenv.EvalChannels {
+		fmt.Fprintf(&b, "%-8v %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			ch, nbLoc[ch], nbFull[ch], svmLoc[ch], svmFull[ch], legLoc[ch], legFull[ch])
+	}
+	ch, ratio := r.BestImprovement(sensor.KindUSRPB200, VariantLegacySVM)
+	fmt.Fprintf(&b, "best legacy-SVM improvement: %.1fx on %v (paper: up to 5x)\n", ratio, ch)
+	chN, ratioN := r.BestImprovement(sensor.KindUSRPB200, VariantSVM)
+	fmt.Fprintf(&b, "best normalized-SVM improvement: %.1fx on %v (see EXPERIMENTS.md)\n\n", ratioN, chN)
+
+	for _, panel := range []struct {
+		title string
+		idx   int
+	}{
+		{"Fig. 12b: mean FP rate vs number of features", 0},
+		{"Fig. 12c: mean FN rate vs number of features", 1},
+	} {
+		b.WriteString(panel.title + "\n")
+		fmt.Fprintf(&b, "%-26s %8s %8s %8s %8s\n", "series", "1", "2", "3", "4")
+		for _, kind := range []sensor.Kind{sensor.KindRTLSDR, sensor.KindUSRPB200} {
+			for _, variant := range Fig12Variants {
+				fp, fn := r.MeanRates(kind, variant)
+				src := fp
+				if panel.idx == 1 {
+					src = fn
+				}
+				fmt.Fprintf(&b, "%-26s %8.4f %8.4f %8.4f %8.4f\n",
+					fmt.Sprintf("%v %s", kind, variant), src[1], src[2], src[3], src[4])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

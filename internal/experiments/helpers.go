@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/wsdetect/waldo/internal/baseline/specdb"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/ml"
+	"github.com/wsdetect/waldo/internal/ml/svm"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+// newProjector anchors feature-space projections, mirroring the Model
+// Constructor's convention (first reading's location).
+func newProjector(origin geo.Point) *geo.Projector { return geo.NewProjector(origin) }
+
+// newSuiteSVM builds the default Waldo SVM with the same capacity budget
+// core.BuildModel uses.
+func newSuiteSVM(seed int64) ml.Classifier {
+	return &svm.RFFSVM{Seed: seed, D: 48, Gamma: 0.35, Linear: svm.Pegasos{ClassBalance: true}}
+}
+
+// newDefaultSpecDB builds the conventional spectrum database over the
+// environment's incumbent registry: Hata urban contours evaluated at the
+// regulatory 10 m receiver height, the configuration certified databases
+// use — and the source of their over-protection relative to ground-level
+// truth.
+func newDefaultSpecDB(env *rfenv.Environment) (*specdb.Database, error) {
+	db, err := specdb.New(specdb.Config{
+		Transmitters: env.Transmitters(),
+		Model:        rfenv.FCCCurves{Base: rfenv.HataUrban{LargeCity: true}, OptimismDB: 3},
+		RxHeightM:    10,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build spectrum database: %w", err)
+	}
+	return db, nil
+}

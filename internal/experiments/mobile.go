@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dsp"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// mobileModels trains one model per channel from the RTL-SDR campaign
+// data, as downloaded by the Android prototype.
+func (s *Suite) mobileModels(kind core.ClassifierKind) (map[rfenv.Channel]*core.Model, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	models := make(map[rfenv.Channel]*core.Model, len(camp.Channels))
+	for _, ch := range camp.Channels {
+		readings := camp.Readings(ch, sensor.KindRTLSDR)
+		labels, err := s.Labels(ch, sensor.KindRTLSDR, 0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.BuildModel(readings, labels, core.ConstructorConfig{
+			ClusterK:   3,
+			Classifier: kind,
+			Features:   features.SetLocationRSSCFT,
+			Seed:       s.cfg.Seed + 600,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mobile model %v: %w", ch, err)
+		}
+		models[ch] = m
+	}
+	return models, nil
+}
+
+// Fig17Result reproduces Fig. 17 and the §5 responsiveness analysis: the
+// CDF of the air time needed for the detector to reach a 90 % CI span
+// below α (paper: mean 0.19 s stationary, flat in α; mobile runs often
+// fail to converge).
+type Fig17Result struct {
+	// Stationary is the CDF of convergence air time (seconds).
+	Stationary *dsp.ECDF
+	// ByAlpha maps α (dB) to mean stationary convergence seconds.
+	ByAlpha map[float64]float64
+	// MobileConvergedFrac is the fraction of mobile attempts that
+	// converged at all (paper: large share do not).
+	MobileConvergedFrac float64
+	// MobileMinSeconds is the fastest mobile convergence (paper: 0.3 s).
+	MobileMinSeconds float64
+	// FullScanSeconds extrapolates a 30-channel scan from the mean
+	// (paper: 5.89 s vs the 2 s IEEE 802.22 requirement).
+	FullScanSeconds float64
+}
+
+// Fig17Convergence runs stationary and mobile detection attempts across
+// the metro and measures convergence air time.
+func (s *Suite) Fig17Convergence() (*Fig17Result, error) {
+	env, err := s.Env()
+	if err != nil {
+		return nil, err
+	}
+	models, err := s.mobileModels(core.KindSVM)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 601))
+	dev := sensor.NewDevice(sensor.RTLSDR())
+	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
+		return nil, err
+	}
+
+	attempt := func(speed float64, alpha float64, trial int) (client.ChannelScan, error) {
+		radio := &client.SimRadio{
+			Env: env, Device: dev, Rng: rng,
+			SpeedMPS: speed, HeadingDeg: float64(trial*37) + 10,
+		}
+		loc := rfenv.MetroCenter.Offset(float64(trial*29%360), 1000+float64(trial*631%11000))
+		radio.SetPosition(loc)
+		ch := rfenv.EvalChannels[trial%len(rfenv.EvalChannels)]
+		wsd := &client.WSD{
+			Radio:  radio,
+			Models: models,
+			Detector: core.DetectorConfig{
+				AlphaDB:     alpha,
+				MaxReadings: 128,
+			},
+			MaxReadingsPerChannel: 128,
+		}
+		return wsd.SenseChannel(ch, loc)
+	}
+
+	const trials = 120
+	res := &Fig17Result{ByAlpha: make(map[float64]float64)}
+	var stationary []float64
+	for trial := 0; trial < trials; trial++ {
+		cs, err := attempt(0, 0.5, trial)
+		if err != nil {
+			return nil, err
+		}
+		if cs.Decision.Converged {
+			stationary = append(stationary, cs.AirTime.Seconds())
+		}
+	}
+	res.Stationary = dsp.NewECDF(stationary)
+
+	for _, alpha := range []float64{0.5, 1, 2, 5} {
+		var sum float64
+		n := 0
+		for trial := 0; trial < 40; trial++ {
+			cs, err := attempt(0, alpha, trial)
+			if err != nil {
+				return nil, err
+			}
+			if cs.Decision.Converged {
+				sum += cs.AirTime.Seconds()
+				n++
+			}
+		}
+		if n > 0 {
+			res.ByAlpha[alpha] = sum / float64(n)
+		}
+	}
+
+	res.MobileMinSeconds = 1e9
+	converged := 0
+	for trial := 0; trial < trials; trial++ {
+		cs, err := attempt(15, 0.5, trial)
+		if err != nil {
+			return nil, err
+		}
+		if cs.Decision.Converged {
+			converged++
+			if sec := cs.AirTime.Seconds(); sec < res.MobileMinSeconds {
+				res.MobileMinSeconds = sec
+			}
+		}
+	}
+	res.MobileConvergedFrac = float64(converged) / float64(trials)
+	res.FullScanSeconds = res.Stationary.Mean() * 30
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig17Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 17: detector convergence time (90% CI span < α)\n")
+	fmt.Fprintf(&b, "stationary: mean=%.3f s, %s (paper mean: 0.19 s)\n",
+		r.Stationary.Mean(), r.Stationary.RenderQuantiles("s"))
+	b.WriteString("mean convergence by α (paper: flat for stationary devices):\n")
+	for _, alpha := range []float64{0.5, 1, 2, 5} {
+		if v, ok := r.ByAlpha[alpha]; ok {
+			fmt.Fprintf(&b, "  α=%.1f dB: %.3f s\n", alpha, v)
+		}
+	}
+	fmt.Fprintf(&b, "mobile (15 m/s): converged %.0f%% of attempts, min %.2f s (paper: min 0.3 s, many non-convergent)\n",
+		r.MobileConvergedFrac*100, r.MobileMinSeconds)
+	fmt.Fprintf(&b, "30-channel scan extrapolation: %.2f s (paper: 5.89 s vs 2 s IEEE 802.22 budget)\n",
+		r.FullScanSeconds)
+	return b.String()
+}
+
+// Fig18Result reproduces Fig. 18 and the §5 CPU analysis: the CDF of the
+// Waldo app's processing share during active scans, and the average
+// utilization normalized over the 60 s duty cycle (paper: 2.35 %).
+type Fig18Result struct {
+	// PeakPct is the CDF of per-scan peak CPU share (processing over
+	// wall time of the active scan window).
+	PeakPct *dsp.ECDF
+	// NormalizedPct is the mean utilization across the 60 s duty cycle.
+	NormalizedPct float64
+	// ScanCPUSeconds is the mean measured processing time per full scan.
+	ScanCPUSeconds float64
+	// DownloadBytesNB and DownloadBytesSVM are the per-channel model
+	// download sizes (§5: ≈4 kB NB vs ≈40 kB SVM with OpenCV
+	// serialization; this codec is denser but keeps the ordering).
+	DownloadBytesNB  int
+	DownloadBytesSVM int
+}
+
+// Fig18CPUOverhead measures real processing time of the detection
+// pipeline over repeated duty cycles.
+func (s *Suite) Fig18CPUOverhead() (*Fig18Result, error) {
+	env, err := s.Env()
+	if err != nil {
+		return nil, err
+	}
+	svmModels, err := s.mobileModels(core.KindSVM)
+	if err != nil {
+		return nil, err
+	}
+	nbModels, err := s.mobileModels(core.KindNB)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 602))
+	dev := sensor.NewDevice(sensor.RTLSDR())
+	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
+		return nil, err
+	}
+
+	res := &Fig18Result{}
+	var peaks []float64
+	var cpuSum float64
+	const cycles = 25
+	for cycle := 0; cycle < cycles; cycle++ {
+		radio := &client.SimRadio{Env: env, Device: dev, Rng: rng}
+		loc := rfenv.MetroCenter.Offset(float64(cycle*53%360), 500+float64(cycle*911%12000))
+		radio.SetPosition(loc)
+		wsd := &client.WSD{
+			Radio:    radio,
+			Models:   svmModels,
+			Detector: core.DetectorConfig{AlphaDB: 0.5, MaxReadings: 128},
+		}
+		scan, err := wsd.Scan(loc)
+		if err != nil {
+			return nil, err
+		}
+		active := scan.AirTime + scan.CPUTime
+		if active > 0 {
+			peaks = append(peaks, 100*float64(scan.CPUTime)/float64(active))
+		}
+		cpuSum += scan.CPUTime.Seconds()
+	}
+	res.PeakPct = dsp.NewECDF(peaks)
+	res.ScanCPUSeconds = cpuSum / cycles
+	res.NormalizedPct = 100 * res.ScanCPUSeconds / (60 * time.Second).Seconds()
+
+	// Model download sizes (§5).
+	var anyCh rfenv.Channel = rfenv.EvalChannels[0]
+	if res.DownloadBytesSVM, err = core.EncodedSize(svmModels[anyCh]); err != nil {
+		return nil, err
+	}
+	if res.DownloadBytesNB, err = core.EncodedSize(nbModels[anyCh]); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig18Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 18 / §5: WSD processing overhead\n")
+	fmt.Fprintf(&b, "peak CPU share during active scan: %s\n", r.PeakPct.RenderQuantiles("%"))
+	fmt.Fprintf(&b, "mean scan processing: %.4f s → %.3f%% of the 60 s duty cycle (paper: 2.35%%)\n",
+		r.ScanCPUSeconds, r.NormalizedPct)
+	fmt.Fprintf(&b, "model download: NB %d B, SVM %d B per channel (paper: ≈4 kB vs ≈40 kB; ordering preserved)\n",
+		r.DownloadBytesNB, r.DownloadBytesSVM)
+	return b.String()
+}
+
+// --- §5 model size table ---
+
+// Sec5Result measures descriptor sizes per classifier family.
+type Sec5Result struct {
+	// Bytes maps classifier kind to the per-channel descriptor size.
+	Bytes map[core.ClassifierKind]int
+}
+
+// Sec5ModelSize encodes one trained model per family.
+func (s *Suite) Sec5ModelSize() (*Sec5Result, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	const ch = rfenv.Channel(47)
+	readings := camp.Readings(ch, sensor.KindRTLSDR)
+	labels, err := s.Labels(ch, sensor.KindRTLSDR, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The exact-SVM model trains on a subsample to keep SMO fast; its
+	// descriptor grows with support vectors, which is the point.
+	sub := readings
+	subL := labels
+	if len(sub) > 1200 {
+		sub = sub[:1200]
+		subL = subL[:1200]
+	}
+
+	res := &Sec5Result{Bytes: make(map[core.ClassifierKind]int)}
+	for _, kind := range []core.ClassifierKind{core.KindNB, core.KindSVM, core.KindSVMExact, core.KindLinearSVM} {
+		rs, ls := readings, labels
+		if kind == core.KindSVMExact {
+			rs, ls = sub, subL
+		}
+		m, err := core.BuildModel(rs, ls, core.ConstructorConfig{
+			ClusterK:   3,
+			Classifier: kind,
+			Features:   features.SetLocationRSSCFT,
+			Seed:       s.cfg.Seed + 603,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sec5 %v: %w", kind, err)
+		}
+		size, err := core.EncodedSize(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Bytes[kind] = size
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Sec5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("§5: model descriptor sizes (k=3, location+RSS+CFT)\n")
+	b.WriteString("(paper: ≈4 kB NB vs ≈40 kB SVM with OpenCV text serialization)\n")
+	for _, kind := range []core.ClassifierKind{core.KindNB, core.KindLinearSVM, core.KindSVM, core.KindSVMExact} {
+		fmt.Fprintf(&b, "  %-12v %7d bytes\n", kind, r.Bytes[kind])
+	}
+	return b.String()
+}
+
+// --- Table 2: qualitative comparison ---
+
+// Table2Result renders the qualitative comparison of detection approaches,
+// grounded in the quantitative results of the other experiments.
+type Table2Result struct {
+	// SensingFNRate is the sensing-only detector's efficiency loss on
+	// the campaign (everything at the RTL floor trips the −114 rule).
+	SensingFNRate float64
+}
+
+// Table2Qualitative computes the quantitative anchors for Table 2.
+func (s *Suite) Table2Qualitative() (*Table2Result, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	// Sensing-only on the RTL-SDR: classify each reading by the −114 dBm
+	// rule and compare to ground truth.
+	var fn, safe int
+	for _, ch := range rfenv.EvalChannels {
+		truth, err := s.GroundTruth(ch, 0)
+		if err != nil {
+			return nil, err
+		}
+		readings := camp.Readings(ch, sensor.KindRTLSDR)
+		for i := range readings {
+			if truth[i] != dataset.LabelSafe {
+				continue
+			}
+			safe++
+			if readings[i].Signal.RSSdBm >= core.SensingThresholdDBm {
+				fn++
+			}
+		}
+	}
+	res := &Table2Result{}
+	if safe > 0 {
+		res.SensingFNRate = float64(fn) / float64(safe)
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: qualitative comparison of white-space detection approaches\n")
+	fmt.Fprintf(&b, "%-26s %-22s %-11s %-11s %-10s\n", "approach", "information source", "safety", "efficiency", "overhead")
+	fmt.Fprintf(&b, "%-26s %-22s %-11s %-11s %-10s\n", "spectrum sensing", "local information", "very high", "moderate", "high")
+	fmt.Fprintf(&b, "%-26s %-22s %-11s %-11s %-10s\n", "spectrum databases", "universal models", "very high", "low", "moderate")
+	fmt.Fprintf(&b, "%-26s %-22s %-11s %-11s %-10s\n", "measurement-augmented DB", "local models", "high", "high", "moderate")
+	fmt.Fprintf(&b, "%-26s %-22s %-11s %-11s %-10s\n", "Waldo", "local info + models", "high", "very high", "low")
+	fmt.Fprintf(&b, "quantitative anchor: sensing-only at −114 dBm on the RTL-SDR forfeits %.1f%% of true white space\n",
+		r.SensingFNRate*100)
+	return b.String()
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §4, §5) on the simulated metro campaign. Each experiment
+// is a function on a Suite — the shared environment + war-driving dataset —
+// returning a typed result with a Render method that prints the same rows
+// or series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+// Config sizes a suite.
+type Config struct {
+	// Seed drives the environment realization and all measurement noise.
+	Seed int64
+	// Samples is the number of readings per channel per sensor; 0 means
+	// the paper's 5,282.
+	Samples int
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Samples == 0 {
+		c.Samples = 5282
+	}
+}
+
+// Suite owns the shared campaign. Building it is expensive (hundreds of
+// thousands of I/Q captures), so experiments share one lazily-built
+// instance. Suite is safe for concurrent use after the first Campaign call.
+type Suite struct {
+	cfg Config
+
+	once    sync.Once
+	onceErr error
+	env     *rfenv.Environment
+	camp    *wardrive.Campaign
+
+	labelMu sync.Mutex
+	labels  map[labelKey][]dataset.Label
+}
+
+type labelKey struct {
+	ch   rfenv.Channel
+	kind sensor.Kind
+	corr float64
+}
+
+// NewSuite returns a suite; the campaign is generated on first use.
+func NewSuite(cfg Config) *Suite {
+	cfg.defaults()
+	return &Suite{cfg: cfg, labels: make(map[labelKey][]dataset.Label)}
+}
+
+// Config returns the effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+func (s *Suite) build() {
+	env, err := rfenv.BuildMetro(uint64(s.cfg.Seed))
+	if err != nil {
+		s.onceErr = fmt.Errorf("experiments: build environment: %w", err)
+		return
+	}
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
+		Area:    env.Area,
+		Samples: s.cfg.Samples,
+		Seed:    s.cfg.Seed + 1,
+	})
+	if err != nil {
+		s.onceErr = fmt.Errorf("experiments: generate route: %w", err)
+		return
+	}
+	camp, err := wardrive.Run(wardrive.CampaignConfig{
+		Env:   env,
+		Route: route,
+		Seed:  s.cfg.Seed + 2,
+	})
+	if err != nil {
+		s.onceErr = fmt.Errorf("experiments: run campaign: %w", err)
+		return
+	}
+	s.env = env
+	s.camp = camp
+}
+
+// Env returns the RF environment.
+func (s *Suite) Env() (*rfenv.Environment, error) {
+	s.once.Do(s.build)
+	return s.env, s.onceErr
+}
+
+// Campaign returns the shared measurement campaign.
+func (s *Suite) Campaign() (*wardrive.Campaign, error) {
+	s.once.Do(s.build)
+	return s.camp, s.onceErr
+}
+
+// Labels returns (cached) Algorithm 1 labels for one channel/sensor with
+// an optional antenna correction.
+func (s *Suite) Labels(ch rfenv.Channel, kind sensor.Kind, corrDB float64) ([]dataset.Label, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	key := labelKey{ch, kind, corrDB}
+	s.labelMu.Lock()
+	defer s.labelMu.Unlock()
+	if ls, ok := s.labels[key]; ok {
+		return ls, nil
+	}
+	ls, err := camp.Labels(ch, kind, dataset.LabelConfig{CorrectionDB: corrDB})
+	if err != nil {
+		return nil, err
+	}
+	s.labels[key] = ls
+	return ls, nil
+}
+
+// GroundTruth returns the spectrum analyzer's labels — the evaluation
+// ground truth throughout the paper (§2.2 footnote: analyzer data is used
+// for validation, never for training).
+func (s *Suite) GroundTruth(ch rfenv.Channel, corrDB float64) ([]dataset.Label, error) {
+	return s.Labels(ch, sensor.KindSpectrumAnalyzer, corrDB)
+}

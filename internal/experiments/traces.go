@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dsp"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Fig6Point is one position in the drive sequence as seen by all sensors.
+type Fig6Point struct {
+	Seq int
+	// RSS per sensor, dBm.
+	RSS map[sensor.Kind]float64
+	// Label per sensor.
+	Label map[sensor.Kind]dataset.Label
+}
+
+// Fig6Result reproduces Fig. 6: detection decisions and RSS traces of all
+// three sensors along a channel-47 drive segment.
+type Fig6Result struct {
+	Channel rfenv.Channel
+	Points  []Fig6Point
+	// Agreement is the fraction of positions where each low-cost sensor's
+	// label matches the analyzer's.
+	Agreement map[sensor.Kind]float64
+	// RSSCorrelation is the Pearson correlation of each low-cost
+	// sensor's RSS trace with the analyzer's.
+	RSSCorrelation map[sensor.Kind]float64
+}
+
+// Fig6DetectionTraces extracts `length` readings of channel 47 from the
+// middle of the drive, where the route crosses the coverage boundary
+// (paper Fig. 6 plots ≈700).
+func (s *Suite) Fig6DetectionTraces(length int) (*Fig6Result, error) {
+	if length <= 0 {
+		length = 700
+	}
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	const ch = rfenv.Channel(47)
+	kinds := []sensor.Kind{sensor.KindRTLSDR, sensor.KindUSRPB200, sensor.KindSpectrumAnalyzer}
+
+	labels := make(map[sensor.Kind][]dataset.Label)
+	readings := make(map[sensor.Kind][]dataset.Reading)
+	for _, k := range kinds {
+		rs := camp.Readings(ch, k)
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("experiments: no channel-47 readings for %v", k)
+		}
+		ls, err := s.Labels(ch, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		if length > len(rs) {
+			length = len(rs)
+		}
+		readings[k] = rs
+		labels[k] = ls
+	}
+
+	start := (len(readings[sensor.KindSpectrumAnalyzer]) - length) / 2
+	res := &Fig6Result{
+		Channel:        ch,
+		Agreement:      make(map[sensor.Kind]float64),
+		RSSCorrelation: make(map[sensor.Kind]float64),
+	}
+	for i := start; i < start+length; i++ {
+		pt := Fig6Point{
+			Seq:   i,
+			RSS:   make(map[sensor.Kind]float64, len(kinds)),
+			Label: make(map[sensor.Kind]dataset.Label, len(kinds)),
+		}
+		for _, k := range kinds {
+			pt.RSS[k] = readings[k][i].Signal.RSSdBm
+			pt.Label[k] = labels[k][i]
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	saRSS := make([]float64, length)
+	for i := 0; i < length; i++ {
+		saRSS[i] = readings[sensor.KindSpectrumAnalyzer][start+i].Signal.RSSdBm
+	}
+	for _, k := range []sensor.Kind{sensor.KindRTLSDR, sensor.KindUSRPB200} {
+		agree := 0
+		rss := make([]float64, length)
+		for i := 0; i < length; i++ {
+			if labels[k][start+i] == labels[sensor.KindSpectrumAnalyzer][start+i] {
+				agree++
+			}
+			rss[i] = readings[k][start+i].Signal.RSSdBm
+		}
+		res.Agreement[k] = float64(agree) / float64(length)
+		res.RSSCorrelation[k] = dsp.Pearson(rss, saRSS)
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6: %v detection traces (all sensors, %d readings)\n", r.Channel, len(r.Points))
+	for _, k := range []sensor.Kind{sensor.KindRTLSDR, sensor.KindUSRPB200} {
+		fmt.Fprintf(&b, "  %v: label agreement with analyzer %.1f%%, RSS correlation %.3f\n",
+			k, r.Agreement[k]*100, r.RSSCorrelation[k])
+	}
+	b.WriteString("  sample rows (seq: rtl / usrp / analyzer RSS dBm, labels):\n")
+	step := len(r.Points) / 8
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(r.Points); i += step {
+		pt := r.Points[i]
+		fmt.Fprintf(&b, "  %5d: %7.1f / %7.1f / %7.1f   %s / %s / %s\n", pt.Seq,
+			pt.RSS[sensor.KindRTLSDR], pt.RSS[sensor.KindUSRPB200], pt.RSS[sensor.KindSpectrumAnalyzer],
+			pt.Label[sensor.KindRTLSDR], pt.Label[sensor.KindUSRPB200], pt.Label[sensor.KindSpectrumAnalyzer])
+	}
+	return b.String()
+}
+
+// Fig7Row is one channel's label correlation between the two low-cost
+// sensors.
+type Fig7Row struct {
+	Channel rfenv.Channel
+	// Pearson is the correlation between RTL-SDR and USRP label
+	// sequences.
+	Pearson float64
+}
+
+// Fig7Result reproduces Fig. 7: the CDF of per-channel Pearson correlation
+// between RTL-SDR and USRP labels. The paper reports medians above 0.9
+// with channel 21 anomalous (RTL misses its near-floor signals).
+type Fig7Result struct {
+	Rows   []Fig7Row
+	Median float64
+	// WorstChannel is the least-correlated channel (paper: 21).
+	WorstChannel rfenv.Channel
+}
+
+// Fig7LabelCorrelation computes per-channel label correlation.
+func (s *Suite) Fig7LabelCorrelation() (*Fig7Result, error) {
+	camp, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	var vals []float64
+	worst := 2.0
+	for _, ch := range camp.Channels {
+		rtl, err := s.Labels(ch, sensor.KindRTLSDR, 0)
+		if err != nil {
+			return nil, err
+		}
+		usrp, err := s.Labels(ch, sensor.KindUSRPB200, 0)
+		if err != nil {
+			return nil, err
+		}
+		a := make([]float64, len(rtl))
+		bb := make([]float64, len(usrp))
+		for i := range rtl {
+			if rtl[i] == dataset.LabelSafe {
+				a[i] = 1
+			}
+			if usrp[i] == dataset.LabelSafe {
+				bb[i] = 1
+			}
+		}
+		r := dsp.Pearson(a, bb)
+		// Constant label sequences (fully occupied channels) have
+		// undefined correlation; the sensors agree perfectly there.
+		if r != r { // NaN
+			if agreementFraction(rtl, usrp) > 0.99 {
+				r = 1
+			} else {
+				r = 0
+			}
+		}
+		res.Rows = append(res.Rows, Fig7Row{Channel: ch, Pearson: r})
+		vals = append(vals, r)
+		if r < worst {
+			worst = r
+			res.WorstChannel = ch
+		}
+	}
+	res.Median = dsp.Median(vals)
+	return res, nil
+}
+
+func agreementFraction(a, b []dataset.Label) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// Render implements the experiment report.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: Pearson correlation between RTL-SDR and USRP labels\n")
+	b.WriteString("(paper: median > 0.9, channel 21 anomalous)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6v r=%.3f\n", row.Channel, row.Pearson)
+	}
+	fmt.Fprintf(&b, "  median=%.3f worst=%v\n", r.Median, r.WorstChannel)
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridIndex is a uniform spatial hash over a local tangent plane that
+// answers "which stored items lie within R meters of this point" queries.
+// It backs the Algorithm 1 labeler, whose 6 km protection radius makes
+// naive O(n²) neighborhood scans the bottleneck of dataset construction.
+//
+// Items are stored by integer ID (typically an index into a reading slice).
+// The zero value is not usable; construct with NewGridIndex.
+type GridIndex struct {
+	proj  *Projector
+	cellM float64
+	cells map[cellKey][]gridItem
+	n     int
+}
+
+type cellKey struct{ cx, cy int32 }
+
+type gridItem struct {
+	id int
+	xy XY
+}
+
+// NewGridIndex returns an index whose cells are cellM meters on a side,
+// projected around origin. cellM should be on the order of the query radius
+// for best performance.
+func NewGridIndex(origin Point, cellM float64) (*GridIndex, error) {
+	if cellM <= 0 || math.IsNaN(cellM) {
+		return nil, fmt.Errorf("geo: cell size must be positive, got %v", cellM)
+	}
+	return &GridIndex{
+		proj:  NewProjector(origin),
+		cellM: cellM,
+		cells: make(map[cellKey][]gridItem),
+	}, nil
+}
+
+// Len returns the number of stored items.
+func (g *GridIndex) Len() int { return g.n }
+
+func (g *GridIndex) keyFor(xy XY) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(xy.X / g.cellM)),
+		cy: int32(math.Floor(xy.Y / g.cellM)),
+	}
+}
+
+// Insert stores id at point p.
+func (g *GridIndex) Insert(id int, p Point) {
+	xy := g.proj.ToXY(p)
+	k := g.keyFor(xy)
+	g.cells[k] = append(g.cells[k], gridItem{id: id, xy: xy})
+	g.n++
+}
+
+// WithinRadius calls fn for every stored item within radiusM meters of p
+// (planar distance). Iteration stops early if fn returns false.
+func (g *GridIndex) WithinRadius(p Point, radiusM float64, fn func(id int) bool) {
+	if radiusM < 0 {
+		return
+	}
+	xy := g.proj.ToXY(p)
+	span := int32(math.Ceil(radiusM / g.cellM))
+	center := g.keyFor(xy)
+	r2 := radiusM * radiusM
+	for cy := center.cy - span; cy <= center.cy+span; cy++ {
+		for cx := center.cx - span; cx <= center.cx+span; cx++ {
+			for _, it := range g.cells[cellKey{cx: cx, cy: cy}] {
+				dx := it.xy.X - xy.X
+				dy := it.xy.Y - xy.Y
+				if dx*dx+dy*dy <= r2 {
+					if !fn(it.id) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// IDsWithinRadius collects the IDs of all items within radiusM of p.
+func (g *GridIndex) IDsWithinRadius(p Point, radiusM float64) []int {
+	var ids []int
+	g.WithinRadius(p, radiusM, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// AnyWithinRadius reports whether at least one item lies within radiusM of p.
+func (g *GridIndex) AnyWithinRadius(p Point, radiusM float64) bool {
+	found := false
+	g.WithinRadius(p, radiusM, func(int) bool {
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewGridIndexValidation(t *testing.T) {
+	if _, err := NewGridIndex(atlanta, 0); err == nil {
+		t.Error("cell size 0 should be rejected")
+	}
+	if _, err := NewGridIndex(atlanta, -5); err == nil {
+		t.Error("negative cell size should be rejected")
+	}
+	if _, err := NewGridIndex(atlanta, 1000); err != nil {
+		t.Errorf("valid cell size rejected: %v", err)
+	}
+}
+
+// TestGridMatchesBruteForce is the core correctness property: grid radius
+// queries must return exactly the same ID set as a brute-force scan.
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := NewGridIndex(atlanta, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := NewProjector(atlanta)
+
+	const n = 500
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = atlanta.Offset(rng.Float64()*360, rng.Float64()*20000)
+		g.Insert(i, pts[i])
+	}
+	if g.Len() != n {
+		t.Fatalf("Len = %d, want %d", g.Len(), n)
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		q := atlanta.Offset(rng.Float64()*360, rng.Float64()*20000)
+		radius := 500 + rng.Float64()*8000
+
+		got := g.IDsWithinRadius(q, radius)
+		sort.Ints(got)
+
+		var want []int
+		qxy := proj.ToXY(q)
+		for i, p := range pts {
+			if proj.ToXY(p).DistanceM(qxy) <= radius {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: id mismatch at %d: got %d want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridAnyWithinRadius(t *testing.T) {
+	g, err := NewGridIndex(atlanta, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := atlanta.Offset(90, 15000)
+	g.Insert(1, far)
+
+	if g.AnyWithinRadius(atlanta, 10000) {
+		t.Error("no item within 10 km, AnyWithinRadius returned true")
+	}
+	if !g.AnyWithinRadius(atlanta, 16000) {
+		t.Error("item within 16 km missed")
+	}
+	if g.AnyWithinRadius(atlanta, -1) {
+		t.Error("negative radius must match nothing")
+	}
+}
+
+func TestGridEarlyStop(t *testing.T) {
+	g, err := NewGridIndex(atlanta, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Insert(i, atlanta)
+	}
+	calls := 0
+	g.WithinRadius(atlanta, 100, func(int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop: got %d callbacks, want 3", calls)
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	proj := NewProjector(atlanta)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		p := atlanta.Offset(rng.Float64()*360, rng.Float64()*30000)
+		back := proj.ToPoint(proj.ToXY(p))
+		if d := back.DistanceM(p); d > 0.01 {
+			t.Fatalf("round trip error %v m for %v", d, p)
+		}
+	}
+}
+
+func TestProjectorDistanceAgreement(t *testing.T) {
+	proj := NewProjector(atlanta)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		a := atlanta.Offset(rng.Float64()*360, rng.Float64()*25000)
+		b := atlanta.Offset(rng.Float64()*360, rng.Float64()*25000)
+		planar := proj.ToXY(a).DistanceM(proj.ToXY(b))
+		sphere := a.DistanceM(b)
+		// Within 0.2% at metro scale.
+		if diff := planar - sphere; diff > 0.002*sphere+0.5 || diff < -0.002*sphere-0.5 {
+			t.Fatalf("planar %v vs sphere %v", planar, sphere)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := NewBBoxAround(atlanta, 30000)
+	if !b.Contains(atlanta) {
+		t.Error("box must contain its center")
+	}
+	if !b.Contains(atlanta.Offset(45, 10000)) {
+		t.Error("box must contain interior point")
+	}
+	if b.Contains(atlanta.Offset(0, 30000)) {
+		t.Error("box must not contain far exterior point")
+	}
+	c := b.Center()
+	if c.DistanceM(atlanta) > 50 {
+		t.Errorf("center drifted by %v m", c.DistanceM(atlanta))
+	}
+	exp := b.Expand(5000)
+	if !exp.Contains(atlanta.Offset(0, 18000)) {
+		t.Error("expanded box should contain point at 18 km north")
+	}
+	u := b.Union(NewBBoxAround(atlanta.Offset(90, 40000), 10000))
+	if !u.Contains(atlanta.Offset(90, 40000)) {
+		t.Error("union must contain second box center")
+	}
+}

@@ -1,0 +1,141 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/ml"
+)
+
+func blobs(n int, sep float64, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{sep + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, ml.Positive)
+		} else {
+			x = append(x, []float64{-sep + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, ml.Negative)
+		}
+	}
+	return x, y
+}
+
+func TestGaussianNBSeparable(t *testing.T) {
+	x, y := blobs(400, 3, 1)
+	g := &GaussianNB{}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		pred, err := g.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.98 {
+		t.Errorf("NB accuracy = %v on separable blobs", acc)
+	}
+}
+
+func TestGaussianNBUsesVariance(t *testing.T) {
+	// Same means, very different variances: NB must use second moments.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 600; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{rng.NormFloat64() * 0.3})
+			y = append(y, ml.Positive)
+		} else {
+			x = append(x, []float64{rng.NormFloat64() * 4})
+			y = append(y, ml.Negative)
+		}
+	}
+	g := &GaussianNB{}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// A point near zero is far more likely under the tight class; a
+	// point at 6 is essentially impossible under it.
+	if pred, _ := g.Predict([]float64{0.05}); pred != ml.Positive {
+		t.Error("near-zero point should go to the tight class")
+	}
+	if pred, _ := g.Predict([]float64{6}); pred != ml.Negative {
+		t.Error("far point should go to the wide class")
+	}
+}
+
+func TestGaussianNBPriors(t *testing.T) {
+	// Heavy imbalance shifts the decision toward the majority class in
+	// the overlap region.
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 1000; i++ {
+		if i%10 == 0 {
+			x = append(x, []float64{1 + rng.NormFloat64()})
+			y = append(y, ml.Positive)
+		} else {
+			x = append(x, []float64{-1 + rng.NormFloat64()})
+			y = append(y, ml.Negative)
+		}
+	}
+	g := &GaussianNB{}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// The midpoint 0 is equidistant; the 9:1 prior should pull it
+	// Negative.
+	if pred, _ := g.Predict([]float64{0}); pred != ml.Negative {
+		t.Error("prior should dominate at the midpoint")
+	}
+}
+
+func TestGaussianNBValidation(t *testing.T) {
+	g := &GaussianNB{}
+	if err := g.Fit(nil, nil); err == nil {
+		t.Error("empty fit must fail")
+	}
+	if _, err := g.Predict([]float64{1}); err == nil {
+		t.Error("predict before fit must fail")
+	}
+	x, y := blobs(50, 2, 4)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Predict([]float64{1, 2, 3}); err == nil {
+		t.Error("dim mismatch must fail")
+	}
+}
+
+func TestGaussianNBModelRoundTrip(t *testing.T) {
+	x, y := blobs(300, 2, 5)
+	g := &GaussianNB{}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	prior, mean, variance, err := g.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := &GaussianNB{}
+	if err := clone.SetModel(prior, mean, variance); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a, _ := g.Predict(x[i])
+		b, _ := clone.Predict(x[i])
+		if a != b {
+			t.Fatalf("clone disagrees at %d", i)
+		}
+	}
+	variance[0][0] = -1
+	if err := clone.SetModel(prior, mean, variance); err == nil {
+		t.Error("negative variance must be rejected")
+	}
+}

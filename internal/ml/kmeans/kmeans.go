@@ -1,0 +1,161 @@
+// Package kmeans implements k-means clustering with k-means++ seeding. The
+// Waldo Model Constructor clusters reading locations into "localities" and
+// trains one classifier per cluster (paper §3.2), trading model locality
+// against download overhead.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result is a fitted clustering.
+type Result struct {
+	// Centers holds the k cluster centroids.
+	Centers [][]float64
+	// Assignments maps each input row to its center index.
+	Assignments []int
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations run.
+	Iterations int
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// K is the number of clusters; required.
+	K int
+	// MaxIterations bounds Lloyd's loop; default 100.
+	MaxIterations int
+	// Seed drives k-means++ seeding.
+	Seed int64
+}
+
+// Run clusters the rows of x into cfg.K groups.
+func Run(x [][]float64, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: k must be ≥1, got %d", cfg.K)
+	}
+	if len(x) < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d points for k=%d", len(x), cfg.K)
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("kmeans: ragged input at row %d", i)
+		}
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := seedPlusPlus(x, cfg.K, rng)
+	assign := make([]int, len(x))
+	counts := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	var iters int
+	for iters = 1; iters <= maxIter; iters++ {
+		changed := false
+		for i, p := range x {
+			best, _ := Nearest(centers, p)
+			if assign[i] != best || iters == 1 {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, p := range x {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centers[c] = append([]float64(nil), x[rng.Intn(len(x))]...)
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	var inertia float64
+	for i, p := range x {
+		inertia += sqDist(centers[assign[i]], p)
+	}
+	return &Result{Centers: centers, Assignments: assign, Inertia: inertia, Iterations: iters}, nil
+}
+
+// Nearest returns the index of the closest center to p and the squared
+// distance to it.
+func Nearest(centers [][]float64, p []float64) (idx int, dist2 float64) {
+	dist2 = math.Inf(1)
+	for c, center := range centers {
+		if d := sqDist(center, p); d < dist2 {
+			dist2 = d
+			idx = c
+		}
+	}
+	return idx, dist2
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks initial centers with k-means++ (D² sampling).
+func seedPlusPlus(x [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), x[rng.Intn(len(x))]...))
+	d2 := make([]float64, len(x))
+	for len(centers) < k {
+		var total float64
+		for i, p := range x {
+			_, d := Nearest(centers, p)
+			d2[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centers; duplicate one.
+			centers = append(centers, append([]float64(nil), x[0]...))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(x) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), x[pick]...))
+	}
+	return centers
+}

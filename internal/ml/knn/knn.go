@@ -1,0 +1,81 @@
+// Package knn implements a k-nearest-neighbors classifier, representative
+// of the measurement-interpolation family of white-space estimators the
+// paper cites as baselines ([10], [49]: KNN, Kriging, linear
+// interpolation).
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wsdetect/waldo/internal/ml"
+)
+
+// KNN is a brute-force k-nearest-neighbors classifier.
+type KNN struct {
+	// K is the neighborhood size; default 5.
+	K int
+
+	x [][]float64
+	y []int
+}
+
+var _ ml.Classifier = (*KNN)(nil)
+
+// Fit implements ml.Classifier (it memorizes a copy of the data).
+func (k *KNN) Fit(x [][]float64, y []int) error {
+	if k.K == 0 {
+		k.K = 5
+	}
+	if k.K < 1 {
+		return fmt.Errorf("knn: k must be ≥1, got %d", k.K)
+	}
+	if _, err := ml.CheckTrainingSet(x, y); err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	k.x = make([][]float64, len(x))
+	for i := range x {
+		k.x[i] = append([]float64(nil), x[i]...)
+	}
+	k.y = append([]int(nil), y...)
+	return nil
+}
+
+// Predict implements ml.Classifier by majority vote among the K nearest
+// training points (ties break toward Negative — the safe side for
+// incumbents).
+func (k *KNN) Predict(x []float64) (int, error) {
+	if len(k.x) == 0 {
+		return 0, fmt.Errorf("knn: model not fitted")
+	}
+	if len(x) != len(k.x[0]) {
+		return 0, fmt.Errorf("knn: input dim %d, model dim %d", len(x), len(k.x[0]))
+	}
+	type cand struct {
+		d2 float64
+		y  int
+	}
+	cands := make([]cand, len(k.x))
+	for i, p := range k.x {
+		var d2 float64
+		for j := range p {
+			d := p[j] - x[j]
+			d2 += d * d
+		}
+		cands[i] = cand{d2: d2, y: k.y[i]}
+	}
+	kk := k.K
+	if kk > len(cands) {
+		kk = len(cands)
+	}
+	// Partial selection of the kk smallest distances.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+	var vote int
+	for _, c := range cands[:kk] {
+		vote += c.y
+	}
+	if vote > 0 {
+		return ml.Positive, nil
+	}
+	return ml.Negative, nil
+}

@@ -1,0 +1,101 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/ml"
+)
+
+func TestKNNBasics(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}}
+	y := []int{ml.Negative, ml.Negative, ml.Negative, ml.Positive, ml.Positive, ml.Positive}
+	k := &KNN{K: 3}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if pred, err := k.Predict([]float64{0.5, 0.5}); err != nil || pred != ml.Negative {
+		t.Errorf("near origin: %v, %v", pred, err)
+	}
+	if pred, err := k.Predict([]float64{10.5, 10.5}); err != nil || pred != ml.Positive {
+		t.Errorf("near far blob: %v, %v", pred, err)
+	}
+}
+
+func TestKNNTieBreaksSafe(t *testing.T) {
+	// k=2 with one neighbor of each class: the tie must resolve Negative
+	// (occupied), protecting incumbents.
+	x := [][]float64{{-1, 0}, {1, 0}}
+	y := []int{ml.Negative, ml.Positive}
+	k := &KNN{K: 2}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if pred, _ := k.Predict([]float64{0, 0}); pred != ml.Negative {
+		t.Error("tie should break to Negative")
+	}
+}
+
+func TestKNNNoisyAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{2 + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, ml.Positive)
+		} else {
+			x = append(x, []float64{-2 + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, ml.Negative)
+		}
+	}
+	k := &KNN{K: 7}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if pred, _ := k.Predict(x[i]); pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Errorf("knn accuracy = %v", acc)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	k := &KNN{}
+	if err := k.Fit(nil, nil); err == nil {
+		t.Error("empty fit must fail")
+	}
+	if _, err := k.Predict([]float64{1}); err == nil {
+		t.Error("predict before fit must fail")
+	}
+	if err := (&KNN{K: -1}).Fit([][]float64{{1}, {2}}, []int{1, -1}); err == nil {
+		t.Error("negative k must fail")
+	}
+	if err := k.Fit([][]float64{{1}, {2}}, []int{ml.Positive, ml.Negative}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Predict([]float64{1, 2}); err == nil {
+		t.Error("dim mismatch must fail")
+	}
+	// K larger than dataset clamps gracefully.
+	if pred, err := k.Predict([]float64{1.4}); err != nil || pred == 0 {
+		t.Errorf("k>n: %v %v", pred, err)
+	}
+}
+
+func TestKNNDoesNotAliasInput(t *testing.T) {
+	x := [][]float64{{0}, {10}}
+	y := []int{ml.Negative, ml.Positive}
+	k := &KNN{K: 1}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] = 100 // mutate caller data
+	if pred, _ := k.Predict([]float64{1}); pred != ml.Negative {
+		t.Error("classifier must have copied training data")
+	}
+}

@@ -1,0 +1,62 @@
+package svm
+
+import (
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/ml"
+)
+
+// BenchmarkRFFSVMTrain measures one locality's training cost at campaign
+// scale (the Model Constructor hot path).
+func BenchmarkRFFSVMTrain(b *testing.B) {
+	x, y := twoBlobs(2000, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &RFFSVM{D: 48, Gamma: 0.35, Seed: int64(i)}
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRFFSVMPredict(b *testing.B) {
+	x, y := twoBlobs(2000, 2, 2)
+	m := &RFFSVM{D: 48, Gamma: 0.35, Seed: 3}
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(x[i%len(x)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMOTrain500(b *testing.B) {
+	x, y := rings(500, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &SMO{Kernel: RBF{Gamma: 1}, Seed: int64(i)}
+		if err := s.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink int
+
+func BenchmarkPegasosTrain(b *testing.B) {
+	x, y := twoBlobs(2000, 2, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &Pegasos{Seed: int64(i)}
+		if err := p.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+		pred, _ := p.Predict(x[0])
+		benchSink += pred
+	}
+}
+
+var _ ml.Classifier = (*RFFSVM)(nil)

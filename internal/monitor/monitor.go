@@ -1,0 +1,217 @@
+// Package monitor implements the spectrum-monitoring extensions sketched
+// in paper §6 ("Applications of Waldo"): the crowd-sourced readings that
+// feed the detection models also support locating primary transmitters and
+// mapping white-space availability over an area — the "continuous realtime
+// stream of spectrum scans that can be used to monitor and localize both
+// primary and secondary networks".
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/geo"
+)
+
+// Estimate is a localized transmitter hypothesis.
+type Estimate struct {
+	// Loc is the estimated tower position.
+	Loc geo.Point
+	// ExponentN is the fitted path-loss exponent.
+	ExponentN float64
+	// InterceptA is the fitted RSS at 1 km, dBm (a proxy for ERP).
+	InterceptA float64
+	// ResidualDB is the trimmed RMS residual of the fit (worst 20 % of
+	// points excluded) — robust to terrain pockets, which would
+	// otherwise dominate a squared loss.
+	ResidualDB float64
+}
+
+// LocalizeConfig parameterizes the search.
+type LocalizeConfig struct {
+	// SearchArea bounds candidate positions; the zero value means the
+	// readings' bounding box expanded by ExpandM.
+	SearchArea geo.BBox
+	// ExpandM grows the default search area beyond the readings — metro
+	// campaigns usually sit inside a station's coverage, with the tower
+	// outside the drive. Default 60 km.
+	ExpandM float64
+	// GridN is the candidates per axis at each refinement level.
+	// Default 15.
+	GridN int
+	// Levels is the number of coarse-to-fine refinement passes.
+	// Default 4.
+	Levels int
+	// MinReadings bounds the sample size. Default 50.
+	MinReadings int
+}
+
+func (c *LocalizeConfig) defaults() error {
+	if c.ExpandM == 0 {
+		c.ExpandM = 60000
+	}
+	if c.GridN == 0 {
+		c.GridN = 15
+	}
+	if c.Levels == 0 {
+		c.Levels = 4
+	}
+	if c.MinReadings == 0 {
+		c.MinReadings = 50
+	}
+	if c.ExpandM < 0 || c.GridN < 3 || c.Levels < 1 || c.MinReadings < 3 {
+		return fmt.Errorf("monitor: invalid config %+v", *c)
+	}
+	return nil
+}
+
+// LocalizeTransmitter estimates the dominant transmitter position of one
+// channel's readings by coarse-to-fine grid search: each candidate position
+// gets a least-squares log-distance fit RSS = A − 10·n·log10(d), and the
+// candidate minimizing the residual wins. Readings at the sensor noise
+// floor carry no distance information and are down-weighted by excluding
+// the bottom quartile of RSS.
+func LocalizeTransmitter(readings []dataset.Reading, cfg LocalizeConfig) (Estimate, error) {
+	if err := cfg.defaults(); err != nil {
+		return Estimate{}, err
+	}
+	if len(readings) < cfg.MinReadings {
+		return Estimate{}, fmt.Errorf("monitor: %d readings, need ≥%d", len(readings), cfg.MinReadings)
+	}
+	ch := readings[0].Channel
+	for i := range readings {
+		if readings[i].Channel != ch {
+			return Estimate{}, fmt.Errorf("monitor: mixed channels in reading set")
+		}
+	}
+
+	// Exclude floor-limited readings: the quiet half of a fringe
+	// campaign reads at the sensor floor and carries no distance
+	// information — keep the strong half.
+	rss := make([]float64, len(readings))
+	for i := range readings {
+		rss[i] = readings[i].Signal.RSSdBm
+	}
+	cut := quantile(rss, 0.5)
+	var pts []geo.Point
+	var obs []float64
+	for i := range readings {
+		if readings[i].Signal.RSSdBm > cut {
+			pts = append(pts, readings[i].Loc)
+			obs = append(obs, readings[i].Signal.RSSdBm)
+		}
+	}
+	if len(pts) < 3 {
+		return Estimate{}, fmt.Errorf("monitor: too few informative readings after floor cut")
+	}
+
+	area := cfg.SearchArea
+	if area == (geo.BBox{}) {
+		area = boundsOf(pts).Expand(cfg.ExpandM)
+	}
+
+	best := Estimate{ResidualDB: math.Inf(1)}
+	center := area.Center()
+	halfW := center.DistanceM(geo.Point{Lat: center.Lat, Lon: area.MaxLon})
+	halfH := center.DistanceM(geo.Point{Lat: area.MaxLat, Lon: center.Lon})
+	for level := 0; level < cfg.Levels; level++ {
+		improved := searchLevel(center, halfW, halfH, cfg.GridN, pts, obs, &best)
+		center = improved
+		halfW /= 3
+		halfH /= 3
+	}
+	if math.IsInf(best.ResidualDB, 1) {
+		return Estimate{}, fmt.Errorf("monitor: no candidate produced a valid fit")
+	}
+	return best, nil
+}
+
+// searchLevel evaluates one grid of candidates and returns the best
+// position found at this level.
+func searchLevel(center geo.Point, halfW, halfH float64, n int, pts []geo.Point, obs []float64, best *Estimate) geo.Point {
+	bestLoc := center
+	for iy := 0; iy < n; iy++ {
+		dy := -halfH + 2*halfH*float64(iy)/float64(n-1)
+		for ix := 0; ix < n; ix++ {
+			dx := -halfW + 2*halfW*float64(ix)/float64(n-1)
+			cand := center.Offset(0, dy).Offset(90, dx)
+			est, ok := fitAt(cand, pts, obs)
+			if ok && est.ResidualDB < best.ResidualDB {
+				*best = est
+				bestLoc = cand
+			}
+		}
+	}
+	return bestLoc
+}
+
+// fitAt fits the log-distance model for one candidate position.
+func fitAt(cand geo.Point, pts []geo.Point, obs []float64) (Estimate, bool) {
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	logD := make([]float64, len(pts))
+	for i := range pts {
+		d := cand.DistanceM(pts[i]) / 1000
+		if d < 0.05 {
+			d = 0.05
+		}
+		logD[i] = math.Log10(d)
+		sx += logD[i]
+		sy += obs[i]
+		sxx += logD[i] * logD[i]
+		sxy += logD[i] * obs[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-9 {
+		return Estimate{}, false
+	}
+	slope := (n*sxy - sx*sy) / den
+	a := (sy - slope*sx) / n
+	nExp := -slope / 10
+	// A transmitter fit must decay with distance at a physical rate.
+	if nExp < 1.0 || nExp > 8 {
+		return Estimate{}, false
+	}
+	resid := make([]float64, len(pts))
+	for i := range pts {
+		resid[i] = math.Abs(obs[i] - (a + slope*logD[i]))
+	}
+	sort.Float64s(resid)
+	keep := resid[:len(resid)*4/5]
+	var ss float64
+	for _, r := range keep {
+		ss += r * r
+	}
+	return Estimate{
+		Loc:        cand,
+		ExponentN:  nExp,
+		InterceptA: a,
+		ResidualDB: math.Sqrt(ss / float64(len(keep))),
+	}, true
+}
+
+func boundsOf(pts []geo.Point) geo.BBox {
+	b := geo.BBox{
+		MinLat: math.Inf(1), MinLon: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLon: math.Inf(-1),
+	}
+	for _, p := range pts {
+		b.MinLat = math.Min(b.MinLat, p.Lat)
+		b.MaxLat = math.Max(b.MaxLat, p.Lat)
+		b.MinLon = math.Min(b.MinLon, p.Lon)
+		b.MaxLon = math.Max(b.MaxLon, p.Lon)
+	}
+	return b
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}

@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+func campaignFor(t *testing.T, channels []rfenv.Channel) (*rfenv.Environment, *wardrive.Campaign) {
+	t.Helper()
+	env, err := rfenv.BuildMetro(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{Area: env.Area, Samples: 1200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := wardrive.Run(wardrive.CampaignConfig{
+		Env: env, Route: route, Channels: channels,
+		Sensors: []sensor.Spec{sensor.SpectrumAnalyzer()},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, camp
+}
+
+// TestLocalizeNearbyTower: channel 47's tower sits 9 km from the metro
+// center; localization from in-area readings should land within a few km.
+func TestLocalizeNearbyTower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	env, camp := campaignFor(t, []rfenv.Channel{47})
+	est, err := LocalizeTransmitter(camp.Readings(47, sensor.KindSpectrumAnalyzer), LocalizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth rfenv.Transmitter
+	for _, tx := range env.Transmitters() {
+		if tx.Channel == 47 {
+			truth = tx
+		}
+	}
+	if d := est.Loc.DistanceM(truth.Loc); d > 5000 {
+		t.Errorf("localized %v m from the true tower", d)
+	}
+	if est.ExponentN < 1.5 || est.ExponentN > 6 {
+		t.Errorf("fitted exponent %v implausible", est.ExponentN)
+	}
+}
+
+// TestLocalizeBearingOfDistantTower: channel 30's tower is 25 km out —
+// beyond exact trilateration from a 26 km drive, but the estimate must at
+// least point the right way (bearing error small, distance order right).
+func TestLocalizeBearingOfDistantTower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	env, camp := campaignFor(t, []rfenv.Channel{30})
+	est, err := LocalizeTransmitter(camp.Readings(30, sensor.KindSpectrumAnalyzer), LocalizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth rfenv.Transmitter
+	for _, tx := range env.Transmitters() {
+		if tx.Channel == 30 {
+			truth = tx
+		}
+	}
+	center := rfenv.MetroCenter
+	wantBearing := center.BearingDeg(truth.Loc)
+	gotBearing := center.BearingDeg(est.Loc)
+	diff := wantBearing - gotBearing
+	for diff > 180 {
+		diff -= 360
+	}
+	for diff < -180 {
+		diff += 360
+	}
+	if diff > 40 || diff < -40 {
+		t.Errorf("bearing error %v° (want %v°, got %v°)", diff, wantBearing, gotBearing)
+	}
+}
+
+func TestLocalizeValidation(t *testing.T) {
+	if _, err := LocalizeTransmitter(nil, LocalizeConfig{}); err == nil {
+		t.Error("empty readings must fail")
+	}
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	_, camp := campaignFor(t, []rfenv.Channel{47})
+	readings := camp.Readings(47, sensor.KindSpectrumAnalyzer)
+	bad := append(readings[:0:0], readings[:100]...)
+	bad[50].Channel = 30
+	if _, err := LocalizeTransmitter(bad, LocalizeConfig{}); err == nil {
+		t.Error("mixed channels must fail")
+	}
+	if _, err := LocalizeTransmitter(readings, LocalizeConfig{GridN: 1}); err == nil {
+		t.Error("bad grid must fail")
+	}
+}

@@ -1,0 +1,60 @@
+package rfenv
+
+import (
+	"math"
+
+	"github.com/wsdetect/waldo/internal/geo"
+)
+
+// Obstruction is a terrain or built-environment feature (ridge, valley,
+// dense urban canyon) that attenuates TV signals over a coherent area. These
+// are what create the "pockets" of Figure 1: regions where the TV signal is
+// not decodable even though generic propagation models predict coverage.
+type Obstruction struct {
+	// Center is the obstruction's location.
+	Center geo.Point
+	// RadiusM is the radius of the fully attenuated core.
+	RadiusM float64
+	// EdgeM is the width of the smooth transition band outside the core.
+	EdgeM float64
+	// DepthDB is the attenuation applied inside the core (positive).
+	DepthDB float64
+	// Channels restricts the obstruction to specific channels; empty
+	// means it affects all channels (pure terrain). Directional urban
+	// clutter can affect channels differently because their transmitters
+	// sit in different azimuths.
+	Channels []Channel
+}
+
+// appliesTo reports whether the obstruction attenuates the given channel.
+func (o *Obstruction) appliesTo(ch Channel) bool {
+	if len(o.Channels) == 0 {
+		return true
+	}
+	for _, c := range o.Channels {
+		if c == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// AttenuationDB returns the obstruction's attenuation at point p for
+// channel ch. The profile is DepthDB inside RadiusM, smoothly decaying to
+// zero across EdgeM.
+func (o *Obstruction) AttenuationDB(ch Channel, p geo.Point) float64 {
+	if o.DepthDB <= 0 || !o.appliesTo(ch) {
+		return 0
+	}
+	d := o.Center.DistanceM(p)
+	switch {
+	case d <= o.RadiusM:
+		return o.DepthDB
+	case o.EdgeM <= 0 || d >= o.RadiusM+o.EdgeM:
+		return 0
+	default:
+		// Raised-cosine roll-off across the edge band.
+		t := (d - o.RadiusM) / o.EdgeM
+		return o.DepthDB * 0.5 * (1 + math.Cos(math.Pi*t))
+	}
+}

@@ -1,0 +1,251 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dsp"
+	"github.com/wsdetect/waldo/internal/iq"
+)
+
+func TestSpecFor(t *testing.T) {
+	for _, k := range []Kind{KindRTLSDR, KindUSRPB200, KindSpectrumAnalyzer} {
+		spec, err := SpecFor(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if spec.Kind != k {
+			t.Errorf("SpecFor(%v).Kind = %v", k, spec.Kind)
+		}
+	}
+	if _, err := SpecFor(Kind(0)); err == nil {
+		t.Error("zero kind must be invalid")
+	}
+	if KindRTLSDR.String() != "rtl-sdr" || Kind(99).String() == "" {
+		t.Error("String() misbehaves")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The paper's premise: RTL-SDR ($15) ≪ USRP ($686) ≪ analyzer ($10-40K).
+	if !(RTLSDR().CostUSD < USRPB200().CostUSD && USRPB200().CostUSD < SpectrumAnalyzer().CostUSD) {
+		t.Error("cost ordering violated")
+	}
+}
+
+func TestFloorOrdering(t *testing.T) {
+	// Sensitivity ordering from §2.2: analyzer < USRP < RTL floors.
+	if !(SpectrumAnalyzer().NoiseFloorDBm < USRPB200().NoiseFloorDBm &&
+		USRPB200().NoiseFloorDBm < RTLSDR().NoiseFloorDBm) {
+		t.Error("noise floor ordering violated")
+	}
+}
+
+func meanRawDB(t *testing.T, d *Device, rng *rand.Rand, level float64, n int) float64 {
+	t.Helper()
+	var sum float64
+	for i := 0; i < n; i++ {
+		obs, err := d.ObserveWired(rng, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += obs.RawDB
+	}
+	return sum / float64(n)
+}
+
+func TestWiredReadingTracksInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDevice(RTLSDR())
+	// Well above the floor, raw readings should track input 1:1 plus the
+	// front-end gain.
+	r70 := meanRawDB(t, d, rng, -70, 50)
+	r60 := meanRawDB(t, d, rng, -60, 50)
+	if math.Abs((r60-r70)-10) > 0.5 {
+		t.Errorf("10 dB input step produced %.2f dB raw step", r60-r70)
+	}
+	if math.Abs(r70-(-70+RTLSDR().FrontEndGainDB)) > 1 {
+		t.Errorf("raw level %.2f, want ≈ input+gain = %.2f", r70, -70+RTLSDR().FrontEndGainDB)
+	}
+}
+
+func TestFloorCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDevice(RTLSDR())
+	// Far below the floor, readings are indistinguishable from no-signal
+	// (Fig. 5d: RTL-SDR CDFs below −98 dBm match the no-signal CDF).
+	deep := meanRawDB(t, d, rng, -115, 200)
+	noSig := meanRawDB(t, d, rng, math.Inf(-1), 200)
+	if math.Abs(deep-noSig) > 0.3 {
+		t.Errorf("deep signal %.2f vs no-signal %.2f: should be indistinguishable", deep, noSig)
+	}
+	// At the floor, the reading is visibly above no-signal.
+	atFloor := meanRawDB(t, d, rng, RTLSDR().NoiseFloorDBm, 200)
+	if atFloor-noSig < 2 {
+		t.Errorf("at-floor signal only %.2f dB above no-signal", atFloor-noSig)
+	}
+}
+
+func TestSensitivityOrderingCWDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rtl := NewDevice(RTLSDR())
+	usrp := NewDevice(USRPB200())
+	// A −101 dBm tone: below the RTL floor, above the USRP floor. The
+	// USRP should separate it from no-signal far better than the RTL.
+	sep := func(d *Device) float64 {
+		sig := meanRawDB(t, d, rng, -101, 200)
+		no := meanRawDB(t, d, rng, math.Inf(-1), 200)
+		return sig - no
+	}
+	rtlSep := sep(rtl)
+	usrpSep := sep(usrp)
+	if usrpSep < rtlSep+0.5 {
+		t.Errorf("USRP separation %.2f dB should exceed RTL %.2f dB at −101 dBm", usrpSep, rtlSep)
+	}
+}
+
+func TestReadingSpreadOrdering(t *testing.T) {
+	// Fig. 5: USRP readings show more variability than RTL-SDR readings.
+	rng := rand.New(rand.NewSource(4))
+	spread := func(spec Spec) float64 {
+		d := NewDevice(spec)
+		vals := make([]float64, 300)
+		for i := range vals {
+			obs, err := d.ObserveWired(rng, -60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[i] = obs.RawDB
+		}
+		return dsp.StdDev(vals)
+	}
+	rtl := spread(RTLSDR())
+	usrp := spread(USRPB200())
+	if usrp <= rtl {
+		t.Errorf("USRP spread %.3f should exceed RTL spread %.3f", usrp, rtl)
+	}
+}
+
+func TestCalibrationRecoversInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, spec := range []Spec{RTLSDR(), USRPB200(), SpectrumAnalyzer()} {
+		d := NewDevice(spec)
+		if err := CalibrateAndInstall(d, rng, CalibrationConfig{}); err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		cal := d.Calibration()
+		// A fresh −65 dBm tone should calibrate back to ≈−65.
+		var sum float64
+		const n = 100
+		for i := 0; i < n; i++ {
+			obs, err := d.ObserveWired(rng, -65)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += cal.Apply(obs.RawDB)
+		}
+		got := sum / n
+		if math.Abs(got-(-65)) > 0.5 {
+			t.Errorf("%v: calibrated reading %.2f, want ≈ −65", spec.Kind, got)
+		}
+		if math.Abs(cal.Slope-1) > 0.05 {
+			t.Errorf("%v: slope %.3f, want ≈1", spec.Kind, cal.Slope)
+		}
+	}
+}
+
+func TestCalibrationTransfersAcrossDevices(t *testing.T) {
+	// The paper reuses one calibration across multiple RTL-SDR units and
+	// across months. Calibrate one device, apply to another instance.
+	rng := rand.New(rand.NewSource(6))
+	a := NewDevice(RTLSDR())
+	cal, err := Calibrate(a, rng, CalibrationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewDevice(RTLSDR())
+	b.SetCalibration(cal)
+	var sum float64
+	const n = 100
+	for i := 0; i < n; i++ {
+		obs, err := b.ObserveWired(rng, -75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += b.Calibration().Apply(obs.RawDB)
+	}
+	if got := sum / n; math.Abs(got-(-75)) > 0.5 {
+		t.Errorf("transferred calibration reads %.2f, want ≈ −75", got)
+	}
+}
+
+func TestCalibrationRejectsFloorLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDevice(RTLSDR())
+	// All levels below floor: nothing usable to fit.
+	_, err := Calibrate(d, rng, CalibrationConfig{LevelsDBm: []float64{-120, -110, -105}})
+	if err == nil {
+		t.Error("calibration with only sub-floor levels should fail")
+	}
+}
+
+func TestLeakagePoisonsWeakChannels(t *testing.T) {
+	// With a −35 dBm station on another channel (right next to a tower),
+	// the RTL-SDR's limited dynamic range must occasionally push an
+	// otherwise-quiet channel reading above −84 dBm; the analyzer never.
+	rng := rand.New(rand.NewSource(8))
+	exceed := func(spec Spec) int {
+		d := NewDevice(spec)
+		if err := CalibrateAndInstall(d, rng, CalibrationConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for i := 0; i < 2000; i++ {
+			obs, err := d.Observe(rng, math.Inf(-1), -35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rss := d.Calibration().Apply(obs.RawDB) + iq.CaptureCorrectionDB()
+			if rss >= -84 {
+				count++
+			}
+		}
+		return count
+	}
+	rtl := exceed(RTLSDR())
+	sa := exceed(SpectrumAnalyzer())
+	if rtl == 0 {
+		t.Error("RTL-SDR leakage should occasionally cross −84 dBm near strong stations")
+	}
+	if sa != 0 {
+		t.Errorf("analyzer produced %d leakage exceedances, want 0", sa)
+	}
+}
+
+func TestObserveSignalRecovery(t *testing.T) {
+	// A decodable −80 dBm channel should read near −80 after calibration
+	// and pilot correction on every device.
+	rng := rand.New(rand.NewSource(9))
+	for _, spec := range []Spec{RTLSDR(), USRPB200(), SpectrumAnalyzer()} {
+		d := NewDevice(spec)
+		if err := CalibrateAndInstall(d, rng, CalibrationConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		const n = 201
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			obs, err := d.Observe(rng, -80, math.Inf(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[i] = d.Calibration().Apply(obs.RawDB) + iq.CaptureCorrectionDB()
+		}
+		// Median: robust to the modelled AGC dropouts, which pull the
+		// mean down on the USRP.
+		got := dsp.Median(vals)
+		if math.Abs(got-(-80)) > 1.5 {
+			t.Errorf("%v: recovered RSS %.2f, want ≈ −80", spec.Kind, got)
+		}
+	}
+}

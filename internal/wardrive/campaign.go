@@ -1,0 +1,167 @@
+package wardrive
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// CampaignConfig describes a full measurement campaign: every sensor rides
+// the same vehicle and observes every channel at every route point, as in
+// the paper's three-sensor war-driving rig (Fig. 2).
+type CampaignConfig struct {
+	// Env is the RF environment; required.
+	Env *rfenv.Environment
+	// Route is the drive; required.
+	Route *Route
+	// Sensors lists the device models mounted on the vehicle; default is
+	// the paper's rig: RTL-SDR, USRP B200, spectrum analyzer.
+	Sensors []sensor.Spec
+	// Channels restricts the measured channels; default is every channel
+	// with a registered transmitter.
+	Channels []rfenv.Channel
+	// Seed drives all measurement noise.
+	Seed int64
+}
+
+// Campaign is the collected dataset of a drive.
+type Campaign struct {
+	// Env is the environment the data was collected in.
+	Env *rfenv.Environment
+	// Route is the drive the data was collected on.
+	Route *Route
+	// Channels are the measured channels in ascending order.
+	Channels []rfenv.Channel
+	// Sensors are the mounted device kinds.
+	Sensors []sensor.Kind
+
+	readings map[campKey][]dataset.Reading
+}
+
+type campKey struct {
+	ch   rfenv.Channel
+	kind sensor.Kind
+}
+
+// Run executes the campaign: it calibrates one device per sensor model
+// against the signal generator, then replays the route, capturing each
+// channel with every sensor at every point.
+func Run(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("wardrive: nil environment")
+	}
+	if cfg.Route == nil || len(cfg.Route.Points) == 0 {
+		return nil, fmt.Errorf("wardrive: empty route")
+	}
+	specs := cfg.Sensors
+	if len(specs) == 0 {
+		specs = []sensor.Spec{sensor.RTLSDR(), sensor.USRPB200(), sensor.SpectrumAnalyzer()}
+	}
+	channels := cfg.Channels
+	if len(channels) == 0 {
+		channels = cfg.Env.Channels()
+	}
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("wardrive: environment has no transmitters")
+	}
+
+	// Each device gets its own noise stream: observation noise of one
+	// sensor must not perturb another's when specifications change.
+	devices := make([]*sensor.Device, len(specs))
+	deviceRngs := make([]*rand.Rand, len(specs))
+	kinds := make([]sensor.Kind, len(specs))
+	for i, spec := range specs {
+		d := sensor.NewDevice(spec)
+		rng := rand.New(rand.NewSource(cfg.Seed + 7919*int64(spec.Kind)))
+		if err := sensor.CalibrateAndInstall(d, rng, sensor.CalibrationConfig{}); err != nil {
+			return nil, fmt.Errorf("wardrive: calibrate %s: %w", spec.Kind, err)
+		}
+		devices[i] = d
+		deviceRngs[i] = rng
+		kinds[i] = spec.Kind
+	}
+
+	camp := &Campaign{
+		Env:      cfg.Env,
+		Route:    cfg.Route,
+		Channels: channels,
+		Sensors:  kinds,
+		readings: make(map[campKey][]dataset.Reading, len(channels)*len(specs)),
+	}
+	for _, ch := range channels {
+		for _, k := range kinds {
+			camp.readings[campKey{ch, k}] = make([]dataset.Reading, 0, len(cfg.Route.Points))
+		}
+	}
+
+	truth := make([]float64, len(channels))
+	for seq, loc := range cfg.Route.Points {
+		// True field, computed once per location and shared by all
+		// sensors: they ride the same vehicle.
+		for ci, ch := range channels {
+			truth[ci] = cfg.Env.RSSDBm(ch, loc)
+		}
+		for ci, ch := range channels {
+			// Strongest co-located power on any other channel, for
+			// the leakage model.
+			strongest := math.Inf(-1)
+			for cj := range channels {
+				if cj != ci && truth[cj] > strongest {
+					strongest = truth[cj]
+				}
+			}
+			for di, dev := range devices {
+				obs, err := dev.Observe(deviceRngs[di], truth[ci], strongest)
+				if err != nil {
+					return nil, fmt.Errorf("wardrive: observe %v %v: %w", ch, kinds[di], err)
+				}
+				sig, err := features.FromObservation(obs, dev.Calibration())
+				if err != nil {
+					return nil, fmt.Errorf("wardrive: extract %v %v: %w", ch, kinds[di], err)
+				}
+				key := campKey{ch, kinds[di]}
+				camp.readings[key] = append(camp.readings[key], dataset.Reading{
+					Seq:     seq,
+					Loc:     loc,
+					Channel: ch,
+					Sensor:  kinds[di],
+					Signal:  sig,
+					TrueDBm: truth[ci],
+				})
+			}
+		}
+	}
+	return camp, nil
+}
+
+// Readings returns the readings for one channel and sensor, in drive order.
+// The returned slice is shared; callers must not mutate it.
+func (c *Campaign) Readings(ch rfenv.Channel, k sensor.Kind) []dataset.Reading {
+	return c.readings[campKey{ch, k}]
+}
+
+// Labels runs Algorithm 1 over one channel/sensor's readings.
+func (c *Campaign) Labels(ch rfenv.Channel, k sensor.Kind, cfg dataset.LabelConfig) ([]dataset.Label, error) {
+	rs := c.Readings(ch, k)
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("wardrive: no readings for %v/%v", ch, k)
+	}
+	return dataset.LabelReadings(rs, cfg)
+}
+
+// Size returns the number of readings per channel per sensor.
+func (c *Campaign) Size() int {
+	if c.Route == nil {
+		return 0
+	}
+	return len(c.Route.Points)
+}
+
+// Area returns the campaign's area of interest.
+func (c *Campaign) Area() geo.BBox { return c.Env.Area }

@@ -1,0 +1,89 @@
+package wardrive
+
+import (
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// TestMetroOccupancySpectrum checks (and logs) the ground-truth white-space
+// availability per channel under Algorithm 1, which must reproduce the
+// paper's structure: 27/39 fully occupied, a spread of partial channels,
+// and weak channels that are mostly white space.
+func TestMetroOccupancySpectrum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	env, err := rfenv.BuildMetro(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := GenerateRoute(RouteConfig{Area: env.Area, Samples: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := Run(CampaignConfig{Env: env, Route: route, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fracs := make(map[rfenv.Channel]float64)
+	for _, ch := range camp.Channels {
+		labels, err := camp.Labels(ch, sensor.KindSpectrumAnalyzer, dataset.LabelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracs[ch] = dataset.SafeFraction(labels)
+		t.Logf("%v: safe fraction %.3f", ch, fracs[ch])
+	}
+
+	for _, ch := range []rfenv.Channel{27, 39} {
+		if fracs[ch] > 0.01 {
+			t.Errorf("%v safe fraction = %.3f, want ≈0 (fully occupied)", ch, fracs[ch])
+		}
+	}
+	// Channel 21's white space hovers near the RTL-SDR floor but the
+	// channel still has both classes (the Fig. 7 anomaly channel).
+	if fracs[21] < 0.05 || fracs[21] > 0.7 {
+		t.Errorf("ch21 safe fraction = %.3f, want mixed occupancy", fracs[21])
+	}
+	// The seven evaluation channels must span a range of occupancy, not
+	// collapse to one regime.
+	var lo, hi int
+	for _, ch := range rfenv.EvalChannels {
+		if fracs[ch] < 0.3 {
+			lo++
+		}
+		if fracs[ch] > 0.4 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("occupancy spread too flat: %v", fracs)
+	}
+
+	// Fig. 15 structure: the +7.5 dB antenna correction makes channels
+	// 21, 30 and 46 entirely not-safe, while 15/17/22/47 keep some white
+	// space.
+	corr := rfenv.AntennaHeightGapCorrectionDB()
+	for _, ch := range rfenv.EvalChannels {
+		labels, err := camp.Labels(ch, sensor.KindSpectrumAnalyzer, dataset.LabelConfig{CorrectionDB: corr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := dataset.SafeFraction(labels)
+		t.Logf("%v corrected: safe fraction %.3f", ch, f)
+		switch ch {
+		case 21, 30, 46:
+			if f > 0.02 {
+				t.Errorf("%v corrected safe fraction = %.3f, want ≈0", ch, f)
+			}
+		default:
+			if f < 0.01 {
+				t.Errorf("%v corrected safe fraction = %.3f, want some white space to survive", ch, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package wardrive
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+func testArea() geo.BBox {
+	return geo.NewBBoxAround(rfenv.MetroCenter, 26000)
+}
+
+func TestGenerateRouteBasics(t *testing.T) {
+	r, err := GenerateRoute(RouteConfig{Area: testArea(), Samples: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2000 {
+		t.Fatalf("points = %d, want 2000", len(r.Points))
+	}
+	// The paper's drive covered ~800 km for a ~700 km² area; a grid
+	// serpentine over a 26 km box should be in the same regime.
+	if r.LengthM < 300e3 || r.LengthM > 1500e3 {
+		t.Errorf("route length = %.0f km, want metro-drive scale", r.LengthM/1000)
+	}
+	// All points within (slightly expanded, for GPS jitter) area.
+	expanded := testArea().Expand(100)
+	for i, p := range r.Points {
+		if !expanded.Contains(p) {
+			t.Fatalf("point %d (%v) outside area", i, p)
+		}
+	}
+}
+
+func TestRouteSpacingFloor(t *testing.T) {
+	r, err := GenerateRoute(RouteConfig{Area: testArea(), Samples: 3000, Seed: 2, GPSJitterM: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive samples must respect the paper's >20 m rule.
+	for i := 1; i < len(r.Points); i++ {
+		if d := r.Points[i].DistanceM(r.Points[i-1]); d < MinReadingSpacingM {
+			t.Fatalf("samples %d,%d only %.1f m apart", i-1, i, d)
+		}
+	}
+}
+
+func TestRouteCoversArea(t *testing.T) {
+	r, err := GenerateRoute(RouteConfig{Area: testArea(), Samples: 5282, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadrant coverage: each quarter of the area should hold a
+	// meaningful share of the samples.
+	c := testArea().Center()
+	var q [4]int
+	for _, p := range r.Points {
+		idx := 0
+		if p.Lat > c.Lat {
+			idx += 2
+		}
+		if p.Lon > c.Lon {
+			idx++
+		}
+		q[idx]++
+	}
+	for i, n := range q {
+		if frac := float64(n) / float64(len(r.Points)); frac < 0.15 {
+			t.Errorf("quadrant %d holds only %.1f%% of samples", i, frac*100)
+		}
+	}
+}
+
+func TestGenerateRouteValidation(t *testing.T) {
+	if _, err := GenerateRoute(RouteConfig{}); err == nil {
+		t.Error("degenerate area must fail")
+	}
+	if _, err := GenerateRoute(RouteConfig{Area: testArea(), Samples: -5}); err == nil {
+		t.Error("negative samples must fail")
+	}
+	// Demanding too many samples on a tiny area violates min spacing.
+	tiny := geo.NewBBoxAround(rfenv.MetroCenter, 1000)
+	if _, err := GenerateRoute(RouteConfig{Area: tiny, Samples: 100000}); err == nil {
+		t.Error("min-spacing violation must fail")
+	}
+}
+
+func smallCampaign(t *testing.T, channels []rfenv.Channel, samples int) *Campaign {
+	t.Helper()
+	env, err := rfenv.BuildMetro(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := GenerateRoute(RouteConfig{Area: env.Area, Samples: samples, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := Run(CampaignConfig{Env: env, Route: route, Channels: channels, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+func TestCampaignShape(t *testing.T) {
+	camp := smallCampaign(t, []rfenv.Channel{27, 47}, 400)
+	if camp.Size() != 400 {
+		t.Fatalf("size = %d", camp.Size())
+	}
+	for _, ch := range []rfenv.Channel{27, 47} {
+		for _, k := range camp.Sensors {
+			rs := camp.Readings(ch, k)
+			if len(rs) != 400 {
+				t.Fatalf("%v/%v: %d readings", ch, k, len(rs))
+			}
+			for i, r := range rs {
+				if r.Channel != ch || r.Sensor != k || r.Seq != i {
+					t.Fatalf("reading metadata wrong: %+v", r)
+				}
+			}
+		}
+	}
+	if len(camp.Sensors) != 3 {
+		t.Fatalf("default rig should mount 3 sensors, got %d", len(camp.Sensors))
+	}
+}
+
+func TestCampaignReadingsTrackTruth(t *testing.T) {
+	camp := smallCampaign(t, []rfenv.Channel{27}, 300)
+	// Channel 27 is strong everywhere: every sensor's calibrated RSS
+	// should track the true field closely.
+	for _, k := range camp.Sensors {
+		var sumErr float64
+		rs := camp.Readings(27, k)
+		for _, r := range rs {
+			sumErr += math.Abs(r.Signal.RSSdBm - r.TrueDBm)
+		}
+		if mean := sumErr / float64(len(rs)); mean > 2.5 {
+			t.Errorf("%v: mean |RSS − truth| = %.2f dB on a strong channel", k, mean)
+		}
+	}
+}
+
+func TestCampaignAnalyzerLabelsMatchTruth(t *testing.T) {
+	camp := smallCampaign(t, []rfenv.Channel{47}, 600)
+	labels, err := camp.Labels(47, sensor.KindSpectrumAnalyzer, dataset.LabelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute labels from the true field with the same rule; analyzer
+	// labels should agree almost perfectly (it's the ground-truth
+	// instrument).
+	rs := camp.Readings(47, sensor.KindSpectrumAnalyzer)
+	truthReadings := make([]dataset.Reading, len(rs))
+	for i, r := range rs {
+		truthReadings[i] = r
+		truthReadings[i].Signal.RSSdBm = r.TrueDBm
+	}
+	truthLabels, err := dataset.LabelReadings(truthReadings, dataset.LabelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agree int
+	for i := range labels {
+		if labels[i] == truthLabels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(labels)); frac < 0.97 {
+		t.Errorf("analyzer label agreement with truth = %.3f, want ≥0.97", frac)
+	}
+}
+
+func TestCampaignLabelsMixedOccupancy(t *testing.T) {
+	camp := smallCampaign(t, []rfenv.Channel{21, 27}, 600)
+	// Channel 27 is fully occupied: all not-safe. Channel 21 is deep
+	// fringe: mostly safe.
+	l27, err := camp.Labels(27, sensor.KindSpectrumAnalyzer, dataset.LabelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := dataset.SafeFraction(l27); f > 0.01 {
+		t.Errorf("ch27 safe fraction = %v, want ≈0", f)
+	}
+	l21, err := camp.Labels(21, sensor.KindSpectrumAnalyzer, dataset.LabelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := dataset.SafeFraction(l21); f < 0.3 {
+		t.Errorf("ch21 safe fraction = %v, want mostly safe", f)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	env, err := rfenv.BuildMetro(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(CampaignConfig{}); err == nil {
+		t.Error("nil env must fail")
+	}
+	if _, err := Run(CampaignConfig{Env: env}); err == nil {
+		t.Error("empty route must fail")
+	}
+	if _, err := Run(CampaignConfig{Env: env, Route: &Route{}}); err == nil {
+		t.Error("route with no points must fail")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a := smallCampaign(t, []rfenv.Channel{47}, 100)
+	b := smallCampaign(t, []rfenv.Channel{47}, 100)
+	ra := a.Readings(47, sensor.KindRTLSDR)
+	rb := b.Readings(47, sensor.KindRTLSDR)
+	for i := range ra {
+		if ra[i].Signal != rb[i].Signal {
+			t.Fatalf("campaigns with equal seeds diverged at reading %d", i)
+		}
+	}
+}

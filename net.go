@@ -1,0 +1,52 @@
+package waldo
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dbserver"
+)
+
+// Networked deployment: the central spectrum database and the mobile
+// White Space Device client (paper §3.1 / Fig. 8).
+type (
+	// DatabaseServer is the central spectrum database.
+	DatabaseServer = dbserver.Server
+	// DatabaseConfig parameterizes it.
+	DatabaseConfig = dbserver.Config
+	// Client is a WSD's connection to the database.
+	Client = client.Client
+	// Radio abstracts sensing hardware on a WSD.
+	Radio = client.Radio
+	// SimRadio is a simulated RTL-SDR-class radio.
+	SimRadio = client.SimRadio
+	// WSD is the mobile white-space device.
+	WSD = client.WSD
+	// ChannelScan is one channel's detection outcome on a WSD.
+	ChannelScan = client.ChannelScan
+	// ScanResult is a full duty-cycle scan.
+	ScanResult = client.ScanResult
+)
+
+// NewDatabaseServer returns an empty central spectrum database; call
+// Bootstrap with trusted campaign readings, then serve Handler().
+func NewDatabaseServer(cfg DatabaseConfig) *DatabaseServer {
+	return dbserver.New(cfg)
+}
+
+// NewClient connects a WSD to a database at baseURL.
+func NewClient(baseURL string, httpc *http.Client) (*Client, error) {
+	return client.New(baseURL, httpc)
+}
+
+// EncodeModel writes a model's compact descriptor (the artifact WSDs
+// download; §5 measures its size).
+func EncodeModel(w io.Writer, m *Model) error { return core.EncodeModel(w, m) }
+
+// DecodeModel reads a model descriptor.
+func DecodeModel(r io.Reader) (*Model, error) { return core.DecodeModel(r) }
+
+// EncodedModelSize returns a model's descriptor size in bytes.
+func EncodedModelSize(m *Model) (int, error) { return core.EncodedSize(m) }

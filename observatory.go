@@ -1,0 +1,35 @@
+package waldo
+
+import (
+	"github.com/wsdetect/waldo/internal/baseline/kriging"
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/monitor"
+)
+
+// Spectrum-observatory extensions (paper §6): the same crowd-sourced
+// readings that train detection models also support transmitter
+// localization and field interpolation, and WSDs can cache stable
+// decisions across duty cycles (§5).
+type (
+	// TransmitterEstimate is a localized transmitter hypothesis.
+	TransmitterEstimate = monitor.Estimate
+	// LocalizeConfig parameterizes transmitter localization.
+	LocalizeConfig = monitor.LocalizeConfig
+	// KrigingModel is an ordinary-kriging RSS field interpolator.
+	KrigingModel = kriging.Model
+	// KrigingConfig parameterizes it.
+	KrigingConfig = kriging.Config
+	// DecisionCache reuses converged decisions across duty cycles.
+	DecisionCache = client.DecisionCache
+)
+
+// LocalizeTransmitter estimates the dominant transmitter position of one
+// channel's readings by coarse-to-fine grid search over log-distance fits.
+func LocalizeTransmitter(readings []Reading, cfg LocalizeConfig) (TransmitterEstimate, error) {
+	return monitor.LocalizeTransmitter(readings, cfg)
+}
+
+// FitKriging builds an RSS field interpolator from one channel's readings.
+func FitKriging(readings []Reading, cfg KrigingConfig) (*KrigingModel, error) {
+	return kriging.Fit(readings, cfg)
+}
