@@ -1,0 +1,32 @@
+# Build, test, and verification entry points. `make check` is the CI
+# gate: vet + build + full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build test race vet bench loadgen clean
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Telemetry hot-path budget (< ~100 ns/op for counter inc / histogram
+# observe) plus the repo's other benchmarks.
+bench:
+	$(GO) test -bench . -benchmem -run XXX ./internal/telemetry/
+
+# End-to-end performance harness against an in-process spectrum database.
+loadgen:
+	$(GO) run ./cmd/waldo-loadgen -clients 8 -duration 5s -channels 46,47
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,357 @@
+// Command waldo-loadgen is the repo's end-to-end performance harness: it
+// bootstraps a central spectrum database from a simulated war-driving
+// campaign, drives N concurrent White Space Device clients through
+// scan/upload cycles against the server's real HTTP API, and prints a
+// throughput and latency report sourced from the internal/telemetry
+// registries on both sides of the wire.
+//
+// Usage:
+//
+//	waldo-loadgen -clients 16 -duration 10s -channels 46,47
+//
+// The server runs in-process (an httptest listener on a real socket), so
+// a single run measures the full stack — HTTP routing, model descriptor
+// encoding/decoding, α′ upload gating, updater ingestion — without any
+// external setup. Add -metrics to dump the raw Prometheus exposition
+// after the report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	clients     int
+	duration    time.Duration
+	channels    []rfenv.Channel
+	samples     int
+	clusterK    int
+	alphaDB     float64
+	alphaPrime  float64
+	uploadBatch int
+	seed        int64
+	dumpMetrics bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("waldo-loadgen", flag.ContinueOnError)
+	clients := fs.Int("clients", 8, "concurrent WSD clients")
+	duration := fs.Duration("duration", 5*time.Second, "load duration")
+	channelsStr := fs.String("channels", "46,47", "comma-separated TV channels")
+	samples := fs.Int("samples", 600, "bootstrap campaign size per channel")
+	clusterK := fs.Int("clusters", 3, "localities per model")
+	alpha := fs.Float64("alpha", 0.5, "detector sensitivity α (dB)")
+	alphaPrime := fs.Float64("alpha-prime", 1.0, "upload acceptance CI span α′ (dB)")
+	uploadBatch := fs.Int("upload-batch", 4, "readings per upload")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	dump := fs.Bool("metrics", false, "dump the server's Prometheus exposition after the report")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		clients:     *clients,
+		duration:    *duration,
+		samples:     *samples,
+		clusterK:    *clusterK,
+		alphaDB:     *alpha,
+		alphaPrime:  *alphaPrime,
+		uploadBatch: *uploadBatch,
+		seed:        *seed,
+		dumpMetrics: *dump,
+	}
+	if cfg.clients < 1 {
+		return config{}, fmt.Errorf("-clients must be ≥ 1")
+	}
+	for _, part := range strings.Split(*channelsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return config{}, fmt.Errorf("bad channel %q", part)
+		}
+		ch := rfenv.Channel(n)
+		if !ch.Valid() {
+			return config{}, fmt.Errorf("channel %d outside TV band", n)
+		}
+		cfg.channels = append(cfg.channels, ch)
+	}
+	if len(cfg.channels) == 0 {
+		return config{}, fmt.Errorf("no channels")
+	}
+	return cfg, nil
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	// --- Bootstrap: simulated campaign → trained spectrum database. ---
+	start := time.Now()
+	env, err := rfenv.BuildMetro(uint64(cfg.seed))
+	if err != nil {
+		return err
+	}
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
+		Area: env.Area, Samples: cfg.samples, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	rtl, err := sensor.SpecFor(sensor.KindRTLSDR)
+	if err != nil {
+		return err
+	}
+	campaign, err := wardrive.Run(wardrive.CampaignConfig{
+		Env: env, Route: route,
+		Sensors:  []sensor.Spec{rtl},
+		Channels: cfg.channels,
+		Seed:     cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	srv := dbserver.New(dbserver.Config{
+		Constructor:  core.ConstructorConfig{ClusterK: cfg.clusterK, Seed: cfg.seed},
+		AlphaPrimeDB: cfg.alphaPrime,
+	})
+	var all []dataset.Reading
+	for _, ch := range cfg.channels {
+		all = append(all, campaign.Readings(ch, sensor.KindRTLSDR)...)
+	}
+	if err := srv.Bootstrap(all); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("bootstrap: %d readings across %d channels, models trained in %v\n",
+		len(all), len(cfg.channels), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("server:    %s (in-process)\n", ts.URL)
+	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n\n",
+		cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+
+	// --- Closed-loop load: N concurrent WSD clients. ---
+	clientReg := telemetry.New()
+	scansTotal := clientReg.Counter("loadgen_scans_total", "Completed channel scans.")
+	var workerErr atomic.Value // first fatal worker error
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			if err := driveClient(cfg, env, ts.URL, clientReg, scansTotal, deadline, worker); err != nil {
+				workerErr.CompareAndSwap(nil, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := workerErr.Load().(error); ok && err != nil {
+		return err
+	}
+
+	report(cfg, srv.Metrics(), clientReg)
+	if cfg.dumpMetrics {
+		fmt.Println("\n--- /metrics ---")
+		if err := srv.Metrics().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driveClient runs one WSD's closed loop until the deadline: download the
+// area's models once (cache hits afterwards), then scan at random metro
+// locations and upload every converged decision's readings.
+func driveClient(cfg config, env *rfenv.Environment, baseURL string,
+	reg *telemetry.Registry, scans *telemetry.Counter, deadline time.Time, worker int) error {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(worker)*7919))
+	spec, err := sensor.SpecFor(sensor.KindRTLSDR)
+	if err != nil {
+		return err
+	}
+	dev := sensor.NewDevice(spec)
+	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
+		return err
+	}
+	radio := &client.SimRadio{Env: env, Device: dev, Rng: rng}
+
+	c, err := client.New(baseURL, nil)
+	if err != nil {
+		return err
+	}
+	c.SetMetrics(reg)
+	models := make(map[rfenv.Channel]*core.Model, len(cfg.channels))
+	for _, ch := range cfg.channels {
+		m, _, err := c.Model(ch, sensor.KindRTLSDR)
+		if err != nil {
+			return err
+		}
+		models[ch] = m
+	}
+	wsd := &client.WSD{
+		Radio:    radio,
+		Models:   models,
+		Detector: core.DetectorConfig{AlphaDB: cfg.alphaDB, Metrics: reg},
+	}
+
+	center := env.Area.Center()
+	for time.Now().Before(deadline) {
+		// Re-fetch through the cache each cycle: this is the Local Model
+		// Parameters Updater path, and it keeps /v1/model load realistic
+		// (cache hits locally, occasional misses after invalidation).
+		ch := cfg.channels[rng.Intn(len(cfg.channels))]
+		if rng.Float64() < 0.02 {
+			c.Invalidate(ch, sensor.KindRTLSDR)
+		}
+		if _, _, err := c.Model(ch, sensor.KindRTLSDR); err != nil {
+			return err
+		}
+
+		loc := center.Offset(rng.Float64()*360, rng.Float64()*12000)
+		radio.SetPosition(loc)
+		cs, err := wsd.SenseChannel(ch, loc)
+		if err != nil {
+			return err
+		}
+		scans.Inc()
+
+		// Upload the decision's readings; the server's α′ gate decides.
+		batch := core.UploadBatch{CISpanDB: cs.Decision.CISpanDB}
+		for i := 0; i < cfg.uploadBatch; i++ {
+			batch.Readings = append(batch.Readings, dataset.Reading{
+				Seq: i, Loc: loc, Channel: ch, Sensor: sensor.KindRTLSDR,
+				Signal: cs.Decision.Signal,
+			})
+		}
+		// Rejections (non-converged scans above α′) are expected traffic.
+		_ = c.Upload(batch)
+	}
+	return nil
+}
+
+// report prints throughput and latency quantiles from both registries.
+func report(cfg config, server, clients *telemetry.Registry) {
+	scans := clients.Counter("loadgen_scans_total", "").Value()
+	secs := cfg.duration.Seconds()
+
+	fmt.Printf("=== load report (%d clients, %v) ===\n", cfg.clients, cfg.duration)
+	fmt.Printf("scans:     %d total, %.1f scans/s\n", scans, float64(scans)/secs)
+
+	decTotal := uint64(0)
+	for _, label := range []string{"safe", "not-safe"} {
+		for _, conv := range []string{"true", "false"} {
+			decTotal += clients.Counter("waldo_detector_decisions_total", "",
+				"label", label, "converged", conv).Value()
+		}
+	}
+	conv := clients.Counter("waldo_detector_decisions_total", "", "label", "safe", "converged", "true").Value() +
+		clients.Counter("waldo_detector_decisions_total", "", "label", "not-safe", "converged", "true").Value()
+	if decTotal > 0 {
+		fmt.Printf("decisions: %d (%.1f%% converged)\n", decTotal, 100*float64(conv)/float64(decTotal))
+	}
+	acc := clients.Counter("waldo_client_uploads_total", "", "outcome", "accepted").Value()
+	rej := clients.Counter("waldo_client_uploads_total", "", "outcome", "failed").Value()
+	fmt.Printf("uploads:   %d accepted, %d rejected (α′ gate)\n", acc, rej)
+	hits := clients.Counter("waldo_client_model_cache_total", "", "result", "hit").Value()
+	misses := clients.Counter("waldo_client_model_cache_total", "", "result", "miss").Value()
+	if hits+misses > 0 {
+		fmt.Printf("cache:     %.1f%% model-cache hit rate (%d lookups)\n",
+			100*float64(hits)/float64(hits+misses), hits+misses)
+	}
+
+	fmt.Println("\nclient-side latency:")
+	printLatency("model fetch (miss)", clients.Histogram("waldo_client_model_fetch_seconds", "", nil).Snapshot())
+	printLatency("upload round-trip ", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
+
+	fmt.Println("\nserver-side latency (per route):")
+	routes := collectRoutes(server)
+	for _, route := range routes {
+		printLatency(route, server.Histogram("waldo_http_request_seconds", "", nil, "route", route).Snapshot())
+	}
+	fmt.Println("\nserver work:")
+	for _, scope := range collectStores(server) {
+		printLatency("rebuild "+scope, server.Histogram("waldo_updater_rebuild_seconds", "", nil, "store", scope).Snapshot())
+	}
+}
+
+func printLatency(name string, s telemetry.HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	fmt.Printf("  %-22s n=%-7d p50=%-9s p95=%-9s p99=%-9s max=%s\n",
+		name, s.Count,
+		fmtSeconds(s.Quantile(0.50)), fmtSeconds(s.Quantile(0.95)),
+		fmtSeconds(s.Quantile(0.99)), fmtSeconds(s.Max))
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// collectRoutes lists the routes the server actually served.
+func collectRoutes(reg *telemetry.Registry) []string {
+	seen := map[string]bool{}
+	reg.Each(func(name string, labels [][2]string, _ any) {
+		if name != "waldo_http_request_seconds" {
+			return
+		}
+		for _, kv := range labels {
+			if kv[0] == "route" {
+				seen[kv[1]] = true
+			}
+		}
+	})
+	routes := make([]string, 0, len(seen))
+	for r := range seen {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	return routes
+}
+
+// collectStores lists the updater scopes with recorded rebuilds.
+func collectStores(reg *telemetry.Registry) []string {
+	seen := map[string]bool{}
+	reg.Each(func(name string, labels [][2]string, _ any) {
+		if name != "waldo_updater_rebuild_seconds" {
+			return
+		}
+		for _, kv := range labels {
+			if kv[0] == "store" {
+				seen[kv[1]] = true
+			}
+		}
+	})
+	stores := make([]string, 0, len(seen))
+	for s := range seen {
+		stores = append(stores, s)
+	}
+	sort.Strings(stores)
+	return stores
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-clients", "2", "-channels", "47", "-duration", "100ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.clients != 2 || len(cfg.channels) != 1 || cfg.channels[0] != 47 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.duration != 100*time.Millisecond {
+		t.Errorf("duration = %v", cfg.duration)
+	}
+	for _, bad := range [][]string{
+		{"-channels", "999"},
+		{"-channels", "x"},
+		{"-clients", "0"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted", bad)
+		}
+	}
+}
+
+// TestRunEndToEnd drives a miniature load run through the full stack:
+// campaign → bootstrap → HTTP server → concurrent WSD clients → report.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	err := run([]string{
+		"-clients", "2", "-duration", "300ms",
+		"-channels", "47", "-samples", "300", "-clusters", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

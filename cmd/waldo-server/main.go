@@ -8,12 +8,16 @@
 //	waldo-wardrive -out campaign.csv
 //	waldo-server -data campaign.csv -addr :8473
 //
-// Endpoints:
+// Endpoints (see the dbserver package comment for the full API):
 //
-//	GET  /v1/health
+//	GET  /v1/health                      → liveness
+//	GET  /healthz                        → readiness + per-store counts (JSON)
+//	GET  /metrics                        → Prometheus text exposition
 //	GET  /v1/model?channel=47&sensor=1   → binary model descriptor
 //	POST /v1/readings                    → JSON reading upload (α′ gated)
 //	POST /v1/retrain?channel=47&sensor=1 → rebuild one model
+//	GET  /v1/export?channel=47&sensor=1  → trusted store as CSV
+//	GET  /v1/stats                       → per-store stats (JSON)
 package main
 
 import (
@@ -92,7 +96,8 @@ func run(args []string) error {
 	if err := srv.Bootstrap(readings); err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
 	}
-	log.Printf("trained models in %.1fs; serving on %s", time.Since(start).Seconds(), *addr)
+	log.Printf("trained models in %.1fs; serving on %s (metrics at /metrics, readiness at /healthz)",
+		time.Since(start).Seconds(), *addr)
 
 	server := &http.Server{
 		Addr:              *addr,

@@ -12,12 +12,14 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
 // Client talks to a Waldo spectrum database. It caches model descriptors:
@@ -29,6 +31,15 @@ type Client struct {
 
 	mu    sync.Mutex
 	cache map[cacheKey]cached
+
+	// Telemetry handles (nil-safe no-ops until SetMetrics): model
+	// download/upload latency, cache hit ratio, upload outcomes.
+	fetchSeconds  *telemetry.Histogram
+	uploadSeconds *telemetry.Histogram
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+	uploadsOK     *telemetry.Counter
+	uploadsFailed *telemetry.Counter
 }
 
 type cacheKey struct {
@@ -54,6 +65,25 @@ func New(baseURL string, httpc *http.Client) (*Client, error) {
 	return &Client{baseURL: baseURL, httpc: httpc, cache: make(map[cacheKey]cached)}, nil
 }
 
+// SetMetrics wires the client's telemetry into reg: download and upload
+// latency histograms, cache hit/miss counters, and upload outcomes. Call
+// before issuing requests; a nil registry leaves the client
+// uninstrumented.
+func (c *Client) SetMetrics(reg *telemetry.Registry) {
+	c.fetchSeconds = reg.Histogram("waldo_client_model_fetch_seconds",
+		"Model descriptor download latency (cache misses only).", nil)
+	c.uploadSeconds = reg.Histogram("waldo_client_upload_seconds",
+		"Reading upload round-trip latency.", nil)
+	c.cacheHits = reg.Counter("waldo_client_model_cache_total",
+		"Model cache lookups by result.", "result", "hit")
+	c.cacheMisses = reg.Counter("waldo_client_model_cache_total",
+		"Model cache lookups by result.", "result", "miss")
+	c.uploadsOK = reg.Counter("waldo_client_uploads_total",
+		"Upload attempts by outcome.", "outcome", "accepted")
+	c.uploadsFailed = reg.Counter("waldo_client_uploads_total",
+		"Upload attempts by outcome.", "outcome", "failed")
+}
+
 // Model returns the detection model for a channel/sensor, downloading it
 // on first use. The returned byte count is the descriptor size (0 on cache
 // hits), feeding the §5 download-overhead analysis.
@@ -62,11 +92,14 @@ func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, er
 	c.mu.Lock()
 	if hit, ok := c.cache[key]; ok {
 		c.mu.Unlock()
+		c.cacheHits.Inc()
 		return hit.model, 0, nil
 	}
 	c.mu.Unlock()
+	c.cacheMisses.Inc()
 
 	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
+	start := time.Now()
 	resp, err := c.httpc.Get(url)
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
@@ -80,6 +113,7 @@ func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, er
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: read model: %w", err)
 	}
+	c.fetchSeconds.Observe(time.Since(start).Seconds())
 	model, err := core.DecodeModel(bytes.NewReader(raw))
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: decode model: %w", err)
@@ -111,15 +145,20 @@ func (c *Client) Upload(batch core.UploadBatch) error {
 	if err != nil {
 		return fmt.Errorf("client: marshal upload: %w", err)
 	}
+	start := time.Now()
 	resp, err := c.httpc.Post(c.baseURL+"/v1/readings", "application/json", bytes.NewReader(body))
 	if err != nil {
+		c.uploadsFailed.Inc()
 		return fmt.Errorf("client: upload: %w", err)
 	}
 	defer resp.Body.Close()
+	c.uploadSeconds.Observe(time.Since(start).Seconds())
 	if resp.StatusCode != http.StatusNoContent {
+		c.uploadsFailed.Inc()
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("client: upload rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
+	c.uploadsOK.Inc()
 	return nil
 }
 

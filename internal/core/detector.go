@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dsp"
 	"github.com/wsdetect/waldo/internal/features"
 	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
 // DetectorConfig parameterizes the White Space Detector (§3.3).
@@ -29,6 +31,10 @@ type DetectorConfig struct {
 	// MaxReadings caps the stream (a mobile device that never converges
 	// must eventually give up); default 1024.
 	MaxReadings int
+	// Metrics, when set, receives detector telemetry: decision counts by
+	// label/convergence, α-convergence stream lengths, and outliers
+	// rejected by the percentile trim.
+	Metrics *telemetry.Registry
 }
 
 func (c *DetectorConfig) defaults() error {
@@ -98,6 +104,10 @@ type Detector struct {
 	rss []float64
 	cft []float64
 	aft []float64
+
+	// Telemetry handles; nil-safe no-ops when cfg.Metrics is unset.
+	readingsUsed  *telemetry.Histogram
+	outliersTotal *telemetry.Counter
 }
 
 // NewDetector builds a detector over a trained model.
@@ -108,7 +118,15 @@ func NewDetector(model *Model, cfg DetectorConfig) (*Detector, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Detector{model: model, cfg: cfg}, nil
+	return &Detector{
+		model: model,
+		cfg:   cfg,
+		readingsUsed: cfg.Metrics.Histogram("waldo_detector_readings",
+			"Stream length consumed per decision (α-convergence iterations).",
+			telemetry.DefCountBuckets),
+		outliersTotal: cfg.Metrics.Counter("waldo_detector_outliers_rejected_total",
+			"Raw readings discarded by the percentile outlier trim."),
+	}, nil
 }
 
 // Reset clears the stream (e.g. after the device moves).
@@ -182,6 +200,7 @@ func (d *Detector) Decide(loc geo.Point) (Decision, error) {
 			return Decision{}, err
 		}
 		dec.Label = label
+		d.record(dec)
 		return dec, nil
 	}
 
@@ -204,5 +223,24 @@ func (d *Detector) Decide(loc geo.Point) (Decision, error) {
 	} else {
 		dec.Label = dataset.LabelNotSafe
 	}
+	d.record(dec)
 	return dec, nil
+}
+
+// record emits per-decision telemetry. The decision counter is looked up
+// here (not held) because its labels depend on the outcome; decisions are
+// per-channel-scan events, far off the per-capture hot path.
+func (d *Detector) record(dec Decision) {
+	if d.cfg.Metrics == nil {
+		return
+	}
+	d.readingsUsed.Observe(float64(dec.ReadingsUsed))
+	trimmed := dsp.TrimOutliers(d.rss, d.cfg.OutlierLoPct, d.cfg.OutlierHiPct)
+	if n := len(d.rss) - len(trimmed); n > 0 {
+		d.outliersTotal.Add(uint64(n))
+	}
+	d.cfg.Metrics.Counter("waldo_detector_decisions_total",
+		"Detection decisions by label and convergence outcome.",
+		"label", dec.Label.String(),
+		"converged", strconv.FormatBool(dec.Converged)).Inc()
 }

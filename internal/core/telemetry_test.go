@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// TestUpdaterTelemetry checks the Global Model Updater's instrumentation:
+// upload outcomes, store-size gauge, rebuild histogram, and retrain spans.
+func TestUpdaterTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	u, err := NewUpdater(UpdaterConfig{
+		Constructor:  ConstructorConfig{Classifier: KindNB},
+		AlphaPrimeDB: 1.0,
+		Metrics:      reg,
+		MetricsScope: "ch47/rtl-sdr",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, _ := synthReadings(200, 3)
+	u.Bootstrap(readings)
+	if got := reg.Gauge("waldo_updater_store_readings", "", "store", "ch47/rtl-sdr").Value(); got != 200 {
+		t.Errorf("store gauge = %v, want 200", got)
+	}
+
+	if _, err := u.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("waldo_updater_rebuild_seconds", "", nil, "store", "ch47/rtl-sdr").Count(); got != 1 {
+		t.Errorf("rebuild histogram count = %d, want 1", got)
+	}
+	for _, span := range []string{"retrain", "retrain/relabel", "retrain/build"} {
+		if got := reg.Histogram("waldo_span_seconds", "", nil, "span", span).Count(); got != 1 {
+			t.Errorf("span %q count = %d, want 1", span, got)
+		}
+	}
+
+	ok := UploadBatch{Readings: readings[:5], CISpanDB: 0.4}
+	if err := u.Submit(ok); err != nil {
+		t.Fatal(err)
+	}
+	noisy := UploadBatch{Readings: readings[:5], CISpanDB: 3.0}
+	if err := u.Submit(noisy); err == nil {
+		t.Fatal("noisy batch accepted")
+	}
+	if got := reg.Counter("waldo_updater_uploads_total", "", "store", "ch47/rtl-sdr", "outcome", "accepted").Value(); got != 1 {
+		t.Errorf("accepted = %d, want 1", got)
+	}
+	if got := reg.Counter("waldo_updater_uploads_total", "", "store", "ch47/rtl-sdr", "outcome", "rejected").Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if got := reg.Gauge("waldo_updater_store_readings", "", "store", "ch47/rtl-sdr").Value(); got != 205 {
+		t.Errorf("store gauge = %v, want 205", got)
+	}
+}
+
+// TestDetectorTelemetry checks decision counters and the stream-length
+// histogram emitted by the White Space Detector.
+func TestDetectorTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	readings, labels := synthReadings(200, 3)
+	model, err := BuildModel(readings, labels, ConstructorConfig{Classifier: KindNB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(model, DetectorConfig{AlphaDB: 5, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		det.Offer(features.Signal{RSSdBm: -70 + 0.01*float64(i), CFTdB: -81, AFTdB: -83})
+	}
+	dec, err := det.Decide(readings[0].Loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Converged {
+		t.Fatalf("stable stream did not converge: %+v", dec)
+	}
+	got := reg.Counter("waldo_detector_decisions_total", "",
+		"label", dec.Label.String(), "converged", "true").Value()
+	if got != 1 {
+		t.Errorf("decision counter = %d, want 1", got)
+	}
+	if got := reg.Histogram("waldo_detector_readings", "", nil).Count(); got != 1 {
+		t.Errorf("readings histogram count = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
 // UploadBatch is a set of readings a WSD submits after a local detection,
@@ -34,6 +35,15 @@ type Updater struct {
 	readings []dataset.Reading
 	model    *Model
 	version  int
+
+	// Telemetry handles (nil-safe no-ops when UpdaterConfig.Metrics is
+	// unset): upload accept/reject counts, rebuild cost, store size.
+	metrics        *telemetry.Registry
+	scope          string
+	acceptedTotal  *telemetry.Counter
+	rejectedTotal  *telemetry.Counter
+	rebuildSeconds *telemetry.Histogram
+	storeReadings  *telemetry.Gauge
 }
 
 // UpdaterConfig assembles an Updater.
@@ -44,6 +54,12 @@ type UpdaterConfig struct {
 	Labeling dataset.LabelConfig
 	// AlphaPrimeDB is the upload acceptance criterion; default 1.0 dB.
 	AlphaPrimeDB float64
+	// Metrics, when set, receives updater telemetry (upload outcomes,
+	// rebuild duration, store size) labeled with MetricsScope.
+	Metrics *telemetry.Registry
+	// MetricsScope labels this updater's metrics, conventionally
+	// "ch47/rtl-sdr"; empty means "default".
+	MetricsScope string
 }
 
 // NewUpdater builds an updater with no data; call Submit or Bootstrap
@@ -58,11 +74,27 @@ func NewUpdater(cfg UpdaterConfig) (*Updater, error) {
 	if err := cfg.Constructor.defaults(); err != nil {
 		return nil, err
 	}
-	return &Updater{
+	scope := cfg.MetricsScope
+	if scope == "" {
+		scope = "default"
+	}
+	u := &Updater{
 		cfg:        cfg.Constructor,
 		labelCfg:   cfg.Labeling,
 		alphaPrime: cfg.AlphaPrimeDB,
-	}, nil
+		metrics:    cfg.Metrics,
+		scope:      scope,
+	}
+	// Handles resolve to nil-safe no-ops when cfg.Metrics is nil.
+	u.acceptedTotal = cfg.Metrics.Counter("waldo_updater_uploads_total",
+		"WSD upload batches by acceptance outcome.", "store", scope, "outcome", "accepted")
+	u.rejectedTotal = cfg.Metrics.Counter("waldo_updater_uploads_total",
+		"WSD upload batches by acceptance outcome.", "store", scope, "outcome", "rejected")
+	u.rebuildSeconds = cfg.Metrics.Histogram("waldo_updater_rebuild_seconds",
+		"Model rebuild (relabel + retrain) duration.", nil, "store", scope)
+	u.storeReadings = cfg.Metrics.Gauge("waldo_updater_store_readings",
+		"Trusted readings currently stored.", "store", scope)
+	return u, nil
 }
 
 // Bootstrap seeds the store with trusted measurements (war driving or
@@ -71,21 +103,25 @@ func (u *Updater) Bootstrap(readings []dataset.Reading) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.readings = append(u.readings, readings...)
+	u.storeReadings.Set(float64(len(u.readings)))
 }
 
 // Submit offers a WSD upload. Batches that fail the α′ noise criterion are
 // rejected — noisy contributions would poison Algorithm 1's labels.
 func (u *Updater) Submit(batch UploadBatch) error {
 	if len(batch.Readings) == 0 {
+		u.rejectedTotal.Inc()
 		return fmt.Errorf("core: empty upload")
 	}
 	if batch.CISpanDB > u.alphaPrime {
+		u.rejectedTotal.Inc()
 		return fmt.Errorf("core: upload CI span %.2f dB exceeds acceptance criterion %.2f dB",
 			batch.CISpanDB, u.alphaPrime)
 	}
 	ch, sens := batch.Readings[0].Channel, batch.Readings[0].Sensor
 	for i := range batch.Readings {
 		if batch.Readings[i].Channel != ch || batch.Readings[i].Sensor != sens {
+			u.rejectedTotal.Inc()
 			return fmt.Errorf("core: mixed channels/sensors in upload")
 		}
 	}
@@ -93,11 +129,14 @@ func (u *Updater) Submit(batch UploadBatch) error {
 	defer u.mu.Unlock()
 	if len(u.readings) > 0 {
 		if u.readings[0].Channel != ch || u.readings[0].Sensor != sens {
+			u.rejectedTotal.Inc()
 			return fmt.Errorf("core: upload is %v/%v, store is %v/%v",
 				ch, sens, u.readings[0].Channel, u.readings[0].Sensor)
 		}
 	}
 	u.readings = append(u.readings, batch.Readings...)
+	u.acceptedTotal.Inc()
+	u.storeReadings.Set(float64(len(u.readings)))
 	return nil
 }
 
@@ -124,14 +163,22 @@ func (u *Updater) Retrain() (*Model, error) {
 	if len(u.readings) == 0 {
 		return nil, fmt.Errorf("core: no readings to train on")
 	}
+	span := u.metrics.StartSpan("retrain")
+	relabel := span.Child("relabel")
 	labels, err := dataset.LabelReadings(u.readings, u.labelCfg)
+	relabel.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("core: relabel: %w", err)
 	}
+	build := span.Child("build")
 	model, err := BuildModel(u.readings, labels, u.cfg)
+	build.End()
+	d := span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild: %w", err)
 	}
+	u.rebuildSeconds.Observe(d.Seconds())
 	u.model = model
 	u.version++
 	return model, nil

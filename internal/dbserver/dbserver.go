@@ -7,6 +7,37 @@
 // Unlike a conventional spectrum database — queried once per location —
 // a Waldo WSD downloads one descriptor per channel covering tens of square
 // kilometers and then decides locally.
+//
+// # HTTP API
+//
+// [Server.Handler] serves the full surface:
+//
+//	GET  /v1/health                            liveness probe; "ok" text
+//	GET  /healthz                              readiness + per-store JSON counts
+//	                                           (readings and model version per
+//	                                           channel/sensor)
+//	GET  /metrics                              Prometheus text exposition of the
+//	                                           server's telemetry registry
+//	GET  /v1/model?channel=C&sensor=K          binary model descriptor; the
+//	                                           X-Waldo-Model-Version header
+//	                                           carries the version
+//	POST /v1/readings                          JSON upload (UploadJSON); α′
+//	                                           gated, optionally screened; 204
+//	                                           on acceptance
+//	POST /v1/retrain?channel=C&sensor=K        relabel + rebuild one model; the
+//	                                           new version is in
+//	                                           X-Waldo-Model-Version
+//	GET  /v1/export?channel=C&sensor=K         trusted store as CSV
+//	GET  /v1/stats                             JSON array of per-store stats
+//	                                           (readings, model version/bytes)
+//
+// channel is a TV-band channel number, sensor a sensor.Kind integer.
+// Errors are plain-text with conventional status codes: 400 for malformed
+// requests, 404 for unknown stores, 422 for rejected uploads.
+//
+// Every route is wrapped in telemetry middleware (request counts by
+// status, latency histograms, in-flight gauge), so /metrics observes the
+// server's own traffic with no external collector.
 package dbserver
 
 import (
@@ -24,13 +55,19 @@ import (
 	"github.com/wsdetect/waldo/internal/geo"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
 // Server is the central spectrum database.
 type Server struct {
-	mu       sync.Mutex
+	// mu is read-locked on the hot lookup path (model downloads, stats)
+	// and write-locked only to create a missing updater, so concurrent
+	// model fetches never serialize behind uploads. Per-store mutation
+	// is the updater's own concern (core.Updater is concurrency-safe).
+	mu       sync.RWMutex
 	updaters map[storeKey]*core.Updater
 	cfg      Config
+	metrics  *telemetry.Registry
 }
 
 type storeKey struct {
@@ -50,15 +87,41 @@ type Config struct {
 	// store before acceptance (§3.4 security: suspect readings are
 	// dropped, mostly-fabricated batches rejected).
 	Screening *core.ValidatorConfig
+	// Metrics receives the server's telemetry (HTTP middleware, updater
+	// and screening instrumentation) and backs the /metrics endpoint.
+	// Nil means a fresh private registry, so telemetry is always on.
+	Metrics *telemetry.Registry
 }
 
 // New returns an empty database server.
 func New(cfg Config) *Server {
-	return &Server{updaters: make(map[storeKey]*core.Updater), cfg: cfg}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.New()
+	}
+	return &Server{
+		updaters: make(map[storeKey]*core.Updater),
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+	}
+}
+
+// Metrics returns the server's telemetry registry (never nil).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// lookup returns the updater for a channel/sensor if it exists, taking
+// only a read lock — the model-download hot path.
+func (s *Server) lookup(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, bool) {
+	s.mu.RLock()
+	u, ok := s.updaters[storeKey{ch, kind}]
+	s.mu.RUnlock()
+	return u, ok
 }
 
 // updaterFor returns (creating if needed) the updater for a channel/sensor.
 func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, error) {
+	if u, ok := s.lookup(ch, kind); ok {
+		return u, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := storeKey{ch, kind}
@@ -69,6 +132,8 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 		Constructor:  s.cfg.Constructor,
 		Labeling:     s.cfg.Labeling,
 		AlphaPrimeDB: s.cfg.AlphaPrimeDB,
+		Metrics:      s.metrics,
+		MetricsScope: fmt.Sprintf("%v/%v", ch, kind),
 	})
 	if err != nil {
 		return nil, err
@@ -98,18 +163,25 @@ func (s *Server) Bootstrap(readings []dataset.Reading) error {
 	return nil
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API (see the package comment for the full
+// surface). Every route is served through the telemetry middleware.
 func (s *Server) Handler() http.Handler {
+	m := s.metrics
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, _ *http.Request) {
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, m.WrapRoute(label, h))
+	}
+	route("GET /v1/health", "/v1/health", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("POST /v1/readings", s.handleReadings)
-	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
-	mux.HandleFunc("GET /v1/export", s.handleExport)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /v1/model", "/v1/model", s.handleModel)
+	route("POST /v1/readings", "/v1/readings", s.handleReadings)
+	route("POST /v1/retrain", "/v1/retrain", s.handleRetrain)
+	route("GET /v1/export", "/v1/export", s.handleExport)
+	route("GET /v1/stats", "/v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", m.Handler())
 	return mux
 }
 
@@ -141,9 +213,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	u, ok := s.updaters[storeKey{ch, kind}]
-	s.mu.Unlock()
+	u, ok := s.lookup(ch, kind)
 	if !ok {
 		http.Error(w, "no model for this channel/sensor", http.StatusNotFound)
 		return
@@ -254,17 +324,21 @@ func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.Screening != nil {
+		span := s.metrics.StartSpan("screen")
 		trusted := u.Readings()
 		if len(trusted) == 0 {
+			span.End()
 			http.Error(w, "store has no trusted readings to corroborate against", http.StatusUnprocessableEntity)
 			return
 		}
 		v, err := core.NewUploadValidator(trusted, *s.cfg.Screening)
 		if err != nil {
+			span.End()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		filtered, err := v.FilterBatch(batch)
+		span.End()
 		if err != nil {
 			http.Error(w, "upload failed corroboration: "+err.Error(), http.StatusUnprocessableEntity)
 			return
@@ -284,9 +358,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	u, ok := s.updaters[storeKey{ch, kind}]
-	s.mu.Unlock()
+	u, ok := s.lookup(ch, kind)
 	if !ok {
 		http.Error(w, "no data for this channel/sensor", http.StatusNotFound)
 		return
@@ -308,9 +380,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	u, ok := s.updaters[storeKey{ch, kind}]
-	s.mu.Unlock()
+	u, ok := s.lookup(ch, kind)
 	if !ok {
 		http.Error(w, "no data for this channel/sensor", http.StatusNotFound)
 		return
@@ -334,24 +404,10 @@ type StatsJSON struct {
 // handleStats reports store sizes and model versions for every
 // channel/sensor pair.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	keys := make([]storeKey, 0, len(s.updaters))
-	for k := range s.updaters {
-		keys = append(keys, k)
-	}
-	s.mu.Unlock()
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].ch != keys[j].ch {
-			return keys[i].ch < keys[j].ch
-		}
-		return keys[i].kind < keys[j].kind
-	})
-
+	keys, byKey := s.storeSnapshot()
 	stats := make([]StatsJSON, 0, len(keys))
 	for _, k := range keys {
-		s.mu.Lock()
-		u := s.updaters[k]
-		s.mu.Unlock()
+		u := byKey[k]
 		model, version := u.Model()
 		entry := StatsJSON{
 			Channel:      int(k.ch),
@@ -372,11 +428,68 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// storeSnapshot returns the current stores in deterministic order.
+func (s *Server) storeSnapshot() ([]storeKey, map[storeKey]*core.Updater) {
+	s.mu.RLock()
+	keys := make([]storeKey, 0, len(s.updaters))
+	byKey := make(map[storeKey]*core.Updater, len(s.updaters))
+	for k, u := range s.updaters {
+		keys = append(keys, k)
+		byKey[k] = u
+	}
+	s.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ch != keys[j].ch {
+			return keys[i].ch < keys[j].ch
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	return keys, byKey
+}
+
+// HealthJSON is the /healthz readiness report.
+type HealthJSON struct {
+	Status string `json:"status"`
+	// Stores counts trained and total stores; a server with no stores is
+	// still "ok" (it may be awaiting Bootstrap).
+	Stores []HealthStoreJSON `json:"stores"`
+}
+
+// HealthStoreJSON is one store's readiness line.
+type HealthStoreJSON struct {
+	Channel      int  `json:"channel"`
+	Sensor       int  `json:"sensor"`
+	Readings     int  `json:"readings"`
+	ModelVersion int  `json:"model_version"`
+	Trained      bool `json:"trained"`
+}
+
+// handleHealthz reports readiness plus per-store counts — the cheap
+// probe for load balancers and the load generator (no model encoding,
+// unlike /v1/stats).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	keys, byKey := s.storeSnapshot()
+	rep := HealthJSON{Status: "ok", Stores: make([]HealthStoreJSON, 0, len(keys))}
+	for _, k := range keys {
+		u := byKey[k]
+		_, version := u.Model()
+		rep.Stores = append(rep.Stores, HealthStoreJSON{
+			Channel:      int(k.ch),
+			Sensor:       int(k.kind),
+			Readings:     u.Size(),
+			ModelVersion: version,
+			Trained:      version > 0,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(rep); err != nil {
+		return // client went away
+	}
+}
+
 // StoreSize reports the number of stored readings for a channel/sensor.
 func (s *Server) StoreSize(ch rfenv.Channel, kind sensor.Kind) int {
-	s.mu.Lock()
-	u, ok := s.updaters[storeKey{ch, kind}]
-	s.mu.Unlock()
+	u, ok := s.lookup(ch, kind)
 	if !ok {
 		return 0
 	}

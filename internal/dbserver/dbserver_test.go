@@ -3,9 +3,12 @@ package dbserver
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -364,5 +367,173 @@ func TestConcurrentAccess(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentMultiChannelNoLostUpdates drives parallel uploads and
+// model fetches across several channels under the race detector and
+// asserts no accepted reading is lost: the RWMutex lookup path must not
+// let downloads starve or corrupt upload ingestion.
+func TestConcurrentMultiChannelNoLostUpdates(t *testing.T) {
+	channels := []rfenv.Channel{46, 47, 39}
+	s := New(Config{Constructor: core.ConstructorConfig{Classifier: core.KindNB}})
+	const bootN = 300
+	for _, ch := range channels {
+		if err := s.Bootstrap(synthReadings(bootN, ch, int64(ch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const (
+		uploaders      = 3 // per channel
+		uploadsEach    = 8
+		batchSize      = 5
+		downloadersPer = 2
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(channels)*(uploaders+downloadersPer)*uploadsEach)
+	for _, ch := range channels {
+		for w := 0; w < uploaders; w++ {
+			wg.Add(1)
+			go func(ch rfenv.Channel, worker int) {
+				defer wg.Done()
+				for i := 0; i < uploadsEach; i++ {
+					up := UploadJSON{CISpanDB: 0.3}
+					for _, r := range synthReadings(batchSize, ch, int64(int(ch)*1000+worker*100+i)) {
+						up.Readings = append(up.Readings, FromReading(r))
+					}
+					body, _ := json.Marshal(up)
+					resp, err := http.Post(ts.URL+"/v1/readings", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusNoContent {
+						errs <- fmt.Errorf("upload ch%d: %s", int(ch), resp.Status)
+					}
+					resp.Body.Close()
+				}
+			}(ch, w)
+		}
+		for w := 0; w < downloadersPer; w++ {
+			wg.Add(1)
+			go func(ch rfenv.Channel) {
+				defer wg.Done()
+				for i := 0; i < uploadsEach; i++ {
+					resp, err := http.Get(fmt.Sprintf("%s/v1/model?channel=%d&sensor=1", ts.URL, int(ch)))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("download ch%d: %s", int(ch), resp.Status)
+					}
+					resp.Body.Close()
+				}
+			}(ch)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	want := bootN + uploaders*uploadsEach*batchSize
+	for _, ch := range channels {
+		if got := s.StoreSize(ch, sensor.KindRTLSDR); got != want {
+			t.Errorf("ch%d store = %d readings, want %d (lost updates)", int(ch), got, want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := bootedServer(t)
+	_ = s
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %s", resp.Status)
+	}
+	var rep HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" {
+		t.Errorf("status = %q", rep.Status)
+	}
+	if len(rep.Stores) != 1 {
+		t.Fatalf("stores = %d, want 1", len(rep.Stores))
+	}
+	st := rep.Stores[0]
+	if st.Channel != 47 || st.Sensor != int(sensor.KindRTLSDR) {
+		t.Errorf("store key = ch%d/%d", st.Channel, st.Sensor)
+	}
+	if st.Readings != 600 {
+		t.Errorf("readings = %d, want 600", st.Readings)
+	}
+	if !st.Trained || st.ModelVersion != 1 {
+		t.Errorf("trained=%v version=%d, want trained v1", st.Trained, st.ModelVersion)
+	}
+}
+
+// TestMetricsEndpoint exercises the observability path end-to-end: server
+// traffic must show up in /metrics as request, updater, and detector-free
+// (server-side) metric families in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := bootedServer(t)
+
+	// Generate some traffic first.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/model?channel=47&sensor=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	up := UploadJSON{CISpanDB: 0.3}
+	for _, r := range synthReadings(4, 47, 9) {
+		up.Readings = append(up.Readings, FromReading(r))
+	}
+	body, _ := json.Marshal(up)
+	resp, err := http.Post(ts.URL+"/v1/readings", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %s", resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE waldo_http_requests_total counter",
+		`waldo_http_requests_total{route="/v1/model",code="200"} 3`,
+		`waldo_http_requests_total{route="/v1/readings",code="204"} 1`,
+		"# TYPE waldo_http_request_seconds histogram",
+		"# TYPE waldo_updater_uploads_total counter",
+		`waldo_updater_uploads_total{store="ch47/rtl-sdr",outcome="accepted"} 1`,
+		"# TYPE waldo_updater_store_readings gauge",
+		`waldo_updater_store_readings{store="ch47/rtl-sdr"} 604`,
+		"# TYPE waldo_updater_rebuild_seconds histogram",
+		"# TYPE waldo_span_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

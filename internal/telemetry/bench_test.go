@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// The instrumentation budget: counters and histograms stay on by default
+// in the dbserver request path and the detector loop, so the per-op cost
+// must stay well under ~100 ns (see package comment). Run with:
+//
+//	go test -bench . -benchmem ./internal/telemetry/
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_ops_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_ops_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	r := New()
+	g := r.Gauge("bench_level", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_lat_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-4)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_lat_seconds", "", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) * 1e-4)
+			i++
+		}
+	})
+}
+
+// BenchmarkCounterLookup measures the anti-pattern (per-op registry
+// lookup) to document why handles should be held.
+func BenchmarkCounterLookup(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_ops_total", "", "route", "/v1/model").Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

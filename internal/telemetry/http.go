@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP middleware metric names. One family each for request counts,
+// latency, and concurrency, labeled by route (and status code for the
+// counter), matching the flat-family convention Prometheus expects.
+const (
+	metricHTTPRequests = "waldo_http_requests_total"
+	metricHTTPLatency  = "waldo_http_request_seconds"
+	metricHTTPInFlight = "waldo_http_in_flight_requests"
+)
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Flush passes through so streaming handlers keep working instrumented.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// WrapRoute instruments a handler under a fixed route label: request
+// count by status code, latency histogram, and a process-wide in-flight
+// gauge. The route label is explicit (not taken from the URL) so
+// high-cardinality paths can't blow up the metric space. On a nil
+// registry the handler is returned unwrapped.
+func (r *Registry) WrapRoute(route string, next http.Handler) http.Handler {
+	if r == nil {
+		return next
+	}
+	latency := r.Histogram(metricHTTPLatency,
+		"HTTP request latency by route.", nil, "route", route)
+	inFlight := r.Gauge(metricHTTPInFlight,
+		"Requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		inFlight.Inc()
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, req)
+		if sr.code == 0 {
+			sr.code = http.StatusOK
+		}
+		latency.Observe(time.Since(start).Seconds())
+		inFlight.Dec()
+		// Counter instances are per status code; look up after serving.
+		r.Counter(metricHTTPRequests, "HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(sr.code)).Inc()
+	})
+}
+
+// WrapRouteFunc is WrapRoute for plain handler functions.
+func (r *Registry) WrapRouteFunc(route string, next http.HandlerFunc) http.Handler {
+	return r.WrapRoute(route, next)
+}

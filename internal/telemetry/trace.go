@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// Span times one operation, optionally nested under a parent. Durations
+// land in the registry's waldo_span_seconds histogram, labeled with the
+// slash-joined span path ("retrain/build"), so nested phase costs (model
+// build, clustering, classification, upload screening) show up in
+// /metrics without a tracing backend. A SpanHook, when set, additionally
+// receives every completed span for custom exporters.
+//
+// Spans are nil-safe: StartSpan on a nil registry returns a nil *Span
+// whose Child and End are no-ops.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+	hist  *Histogram
+}
+
+// SpanHook receives every completed span: its slash-joined path and
+// duration in seconds.
+type SpanHook func(path string, seconds float64)
+
+// SetSpanHook installs fn as the registry's span exporter (nil to clear).
+// Safe for concurrent use with StartSpan/End.
+func (r *Registry) SetSpanHook(fn SpanHook) {
+	if r == nil {
+		return
+	}
+	r.spanHook.Store(fn)
+}
+
+const spanMetric = "waldo_span_seconds"
+const spanHelp = "Duration of traced operations, labeled by span path."
+
+// StartSpan begins timing an operation.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		reg:   r,
+		path:  name,
+		start: time.Now(),
+		hist:  r.Histogram(spanMetric, spanHelp, nil, "span", name),
+	}
+}
+
+// Child begins a nested span; its path is parent/name.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	path := s.path + "/" + name
+	return &Span{
+		reg:   s.reg,
+		path:  path,
+		start: time.Now(),
+		hist:  s.reg.Histogram(spanMetric, spanHelp, nil, "span", path),
+	}
+}
+
+// End stops the span, records its duration, and returns it.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	if fn, ok := s.reg.spanHook.Load().(SpanHook); ok && fn != nil {
+		fn(s.path, d.Seconds())
+	}
+	return d
+}
+
+// Time runs fn under a span — the one-liner for leaf operations.
+func (r *Registry) Time(name string, fn func()) time.Duration {
+	if r == nil {
+		fn()
+		return 0
+	}
+	sp := r.StartSpan(name)
+	fn()
+	return sp.End()
+}

@@ -1,0 +1,73 @@
+package waldo
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// Observability: the metrics and tracing subsystem behind the spectrum
+// database's /metrics endpoint and the waldo-loadgen report. A
+// MetricsRegistry is a concurrent collection of counters, gauges, and
+// histograms cheap enough to stay on by default (~10–25 ns/op); spans
+// time nested operations (model build, clustering, upload screening).
+//
+// The database server always carries a registry (DatabaseConfig.Metrics,
+// or a private one when unset) and serves it at /metrics in Prometheus
+// text format. Clients opt in with Client.SetMetrics; detectors via
+// DetectorConfig.Metrics.
+type (
+	// MetricsRegistry is a concurrent registry of metric families.
+	MetricsRegistry = telemetry.Registry
+	// MetricCounter is a monotonically increasing metric.
+	MetricCounter = telemetry.Counter
+	// MetricGauge is a value that can go up and down.
+	MetricGauge = telemetry.Gauge
+	// MetricHistogram records a distribution into fixed buckets.
+	MetricHistogram = telemetry.Histogram
+	// MetricSnapshot is a point-in-time histogram copy with quantile
+	// estimation (p50/p95/p99 reports).
+	MetricSnapshot = telemetry.HistogramSnapshot
+	// TraceSpan times one (possibly nested) operation.
+	TraceSpan = telemetry.Span
+	// TraceSpanHook receives every completed span for custom exporters.
+	TraceSpanHook = telemetry.SpanHook
+)
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.New() }
+
+// DefaultMetrics returns the process-wide registry.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
+
+// MetricsHandler serves reg in Prometheus text format (mount at
+// /metrics); the database server's Handler already includes one.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
+
+// WriteMetrics renders reg in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, reg *MetricsRegistry) error { return reg.WritePrometheus(w) }
+
+// InstrumentRoute wraps an HTTP handler with request-count, latency, and
+// in-flight instrumentation under a fixed route label.
+func InstrumentRoute(reg *MetricsRegistry, route string, next http.Handler) http.Handler {
+	return reg.WrapRoute(route, next)
+}
+
+// MetricBuckets helpers re-exported for custom histograms.
+var (
+	// DefLatencyBuckets spans 100 µs – ~100 s.
+	DefLatencyBuckets = telemetry.DefLatencyBuckets
+	// DefCountBuckets spans 1 – 4096 in powers of two.
+	DefCountBuckets = telemetry.DefCountBuckets
+)
+
+// ExpMetricBuckets returns n exponentially spaced histogram bounds.
+func ExpMetricBuckets(start, factor float64, n int) []float64 {
+	return telemetry.ExpBuckets(start, factor, n)
+}
+
+// LinearMetricBuckets returns n linearly spaced histogram bounds.
+func LinearMetricBuckets(start, width float64, n int) []float64 {
+	return telemetry.LinearBuckets(start, width, n)
+}

@@ -1,0 +1,76 @@
+package waldo
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestObservabilityFacade exercises the telemetry surface through the
+// public API: registry, middleware, exposition, spans, quantiles.
+func TestObservabilityFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	reg.Counter("waldo_test_total", "test counter").Add(2)
+	h := reg.Histogram("waldo_test_seconds", "test latency", DefLatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001 * float64(i+1))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	p95 := snap.Quantile(0.95)
+	if p95 < 0.05 || p95 > 0.11 {
+		t.Errorf("p95 = %v, want ≈ 0.095", p95)
+	}
+
+	sp := reg.StartSpan("op")
+	sp.Child("phase").End()
+	sp.End()
+
+	wrapped := InstrumentRoute(reg, "/x", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	rec := httptest.NewRecorder()
+	wrapped.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("wrapped handler = %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	if err := WriteMetrics(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"waldo_test_total 2",
+		"waldo_test_seconds_count 100",
+		`waldo_span_seconds_count{span="op/phase"} 1`,
+		`waldo_http_requests_total{route="/x",code="202"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestDatabaseServerMetricsFacade checks the server-side wiring: a façade
+// database server carries a registry and serves /metrics.
+func TestDatabaseServerMetricsFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	srv := NewDatabaseServer(DatabaseConfig{Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %s", resp.Status)
+	}
+	if srv.Metrics() != reg {
+		t.Error("server did not adopt the provided registry")
+	}
+}
