@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench loadgen clean
+.PHONY: check build test race vet bench bench-telemetry loadgen clean
 
 check: vet build race
 
@@ -19,9 +19,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Telemetry hot-path budget (< ~100 ns/op for counter inc / histogram
-# observe) plus the repo's other benchmarks.
+# Performance suite for the parallel pipeline PR: model construction
+# fan-out, non-blocking retrain, cached model serving, k-means worker
+# pool, FFT hot path, and the telemetry budget. Results land in
+# BENCH_2.json (machine-readable, via cmd/waldo-benchjson) with the raw
+# text kept alongside in BENCH_2.txt.
+BENCH_PATTERN ?= BuildModelParallel|RetrainConcurrentSubmit|RetrainStoreScale|ModelEndpointCached|KMeansAssign|FFT256|PowerSpectrum256
+BENCH_PKGS ?= ./internal/core/ ./internal/dbserver/ ./internal/ml/kmeans/ ./internal/dsp/
+
 bench:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run XXX $(BENCH_PKGS) | tee BENCH_2.txt
+	$(GO) run ./cmd/waldo-benchjson < BENCH_2.txt > BENCH_2.json
+
+# Telemetry hot-path budget (< ~100 ns/op for counter inc / histogram
+# observe).
+bench-telemetry:
 	$(GO) test -bench . -benchmem -run XXX ./internal/telemetry/
 
 # End-to-end performance harness against an in-process spectrum database.

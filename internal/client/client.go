@@ -50,6 +50,7 @@ type cacheKey struct {
 type cached struct {
 	model   *core.Model
 	version string
+	etag    string
 	bytes   int
 }
 
@@ -97,14 +98,54 @@ func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, er
 	}
 	c.mu.Unlock()
 	c.cacheMisses.Inc()
+	return c.fetch(key, "")
+}
 
-	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
+// Refresh revalidates the cached model for a channel/sensor against the
+// database using If-None-Match. An unchanged model costs the server no
+// encode and the wire no body (304); a changed one is downloaded and
+// replaces the cache entry. With nothing cached it behaves like Model.
+// The byte count is the transferred descriptor size (0 when the cached
+// copy was still current).
+func (c *Client) Refresh(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
+	key := cacheKey{ch, kind}
+	c.mu.Lock()
+	hit, ok := c.cache[key]
+	c.mu.Unlock()
+	if !ok || hit.etag == "" {
+		return c.fetch(key, "")
+	}
+	return c.fetch(key, hit.etag)
+}
+
+// fetch downloads (or, with a non-empty etag, revalidates) one model
+// descriptor and installs it in the cache.
+func (c *Client) fetch(key cacheKey, etag string) (*core.Model, int, error) {
+	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(key.ch), int(key.kind))
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	start := time.Now()
-	resp, err := c.httpc.Get(url)
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
 	}
 	defer resp.Body.Close()
+	if etag != "" && resp.StatusCode == http.StatusNotModified {
+		c.mu.Lock()
+		hit, ok := c.cache[key]
+		c.mu.Unlock()
+		if ok {
+			c.cacheHits.Inc()
+			return hit.model, 0, nil
+		}
+		// Invalidated while revalidating; fall back to a full fetch.
+		return c.fetch(key, "")
+	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, 0, fmt.Errorf("client: fetch model: %s: %s", resp.Status, bytes.TrimSpace(body))
@@ -118,7 +159,12 @@ func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, er
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: decode model: %w", err)
 	}
-	entry := cached{model: model, version: resp.Header.Get("X-Waldo-Model-Version"), bytes: len(raw)}
+	entry := cached{
+		model:   model,
+		version: resp.Header.Get("X-Waldo-Model-Version"),
+		etag:    resp.Header.Get("ETag"),
+		bytes:   len(raw),
+	}
 	c.mu.Lock()
 	c.cache[key] = entry
 	c.mu.Unlock()

@@ -95,6 +95,44 @@ func TestModelFetchAndCache(t *testing.T) {
 	}
 }
 
+func TestRefreshRevalidates(t *testing.T) {
+	w := newTestWorld(t, []rfenv.Channel{47})
+	m, size, err := w.client.Model(47, sensor.KindRTLSDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size == 0 {
+		t.Fatal("first fetch should transfer the descriptor")
+	}
+	// Unchanged model: revalidation is a 304, no bytes on the wire.
+	m2, size2, err := w.client.Refresh(47, sensor.KindRTLSDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m || size2 != 0 {
+		t.Errorf("revalidation of unchanged model transferred %d bytes", size2)
+	}
+	// A retrain changes the version; Refresh must download the new model.
+	if err := w.client.RequestRetrain(47, sensor.KindRTLSDR); err != nil {
+		t.Fatal(err)
+	}
+	m3, size3, err := w.client.Refresh(47, sensor.KindRTLSDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size3 == 0 {
+		t.Error("refresh after retrain should transfer the new descriptor")
+	}
+	if m3 == nil {
+		t.Fatal("refresh returned nil model")
+	}
+	// Refresh with nothing cached degrades to a plain fetch.
+	w.client.Invalidate(47, sensor.KindRTLSDR)
+	if _, size4, err := w.client.Refresh(47, sensor.KindRTLSDR); err != nil || size4 == 0 {
+		t.Errorf("cold refresh: size=%d err=%v", size4, err)
+	}
+}
+
 func TestUploadPath(t *testing.T) {
 	w := newTestWorld(t, []rfenv.Channel{47})
 	readings := w.camp.Readings(47, sensor.KindRTLSDR)[:20]

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/features"
@@ -34,6 +37,12 @@ type ConstructorConfig struct {
 	SafetyMargin float64
 	// Seed drives clustering and SVM randomization.
 	Seed int64
+	// Workers caps the construction worker pool: the k-means scans and
+	// the per-locality training fan-out (each locality trains with an
+	// independent salt, so the result is bit-identical to a serial
+	// build). 0 means runtime.GOMAXPROCS, 1 forces serial; negative is
+	// rejected.
+	Workers int
 }
 
 func (c *ConstructorConfig) defaults() error {
@@ -58,7 +67,18 @@ func (c *ConstructorConfig) defaults() error {
 	if c.SafetyMargin < 0 {
 		return fmt.Errorf("core: negative safety margin %v", c.SafetyMargin)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
 	return nil
+}
+
+// workerCount resolves the Workers knob against the host.
+func (c *ConstructorConfig) workerCount() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // localModel is one locality's trained classifier.
@@ -148,7 +168,7 @@ func BuildModel(readings []dataset.Reading, labels []dataset.Label, cfg Construc
 		xy := proj.ToXY(readings[i].Loc)
 		locs[i] = []float64{xy.X / 1000, xy.Y / 1000}
 	}
-	clu, err := kmeans.Run(locs, kmeans.Config{K: cfg.ClusterK, Seed: cfg.Seed})
+	clu, err := kmeans.Run(locs, kmeans.Config{K: cfg.ClusterK, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: localities identification: %w", err)
 	}
@@ -165,29 +185,72 @@ func BuildModel(readings []dataset.Reading, labels []dataset.Label, cfg Construc
 		proj:     proj,
 	}
 
-	for c := 0; c < cfg.ClusterK; c++ {
-		var x [][]float64
-		var y []int
-		for i := range readings {
-			if clu.Assignments[i] != c {
-				continue
-			}
+	// Group member indices per locality (in reading order), then fan the
+	// per-locality feature extraction and training out across workers.
+	// Each locality's training depends only on its own members and a
+	// salt derived from its index, so the built model is bit-identical
+	// to a serial build regardless of worker count.
+	members := make([][]int, cfg.ClusterK)
+	for i, c := range clu.Assignments {
+		members[c] = append(members[c], i)
+	}
+	buildLocal := func(c int) (localModel, error) {
+		idxs := members[c]
+		x := make([][]float64, 0, len(idxs))
+		y := make([]int, 0, len(idxs))
+		for _, i := range idxs {
 			vec, err := cfg.Features.Vector(proj.ToXY(readings[i].Loc), readings[i].Signal)
 			if err != nil {
-				return nil, fmt.Errorf("core: feature vector: %w", err)
+				return localModel{}, fmt.Errorf("core: feature vector: %w", err)
 			}
 			cls, err := labelToClass(labels[i])
 			if err != nil {
-				return nil, err
+				return localModel{}, err
 			}
 			x = append(x, vec)
 			y = append(y, cls)
 		}
 		lm, err := trainLocal(x, y, cfg, int64(c))
 		if err != nil {
-			return nil, fmt.Errorf("core: locality %d: %w", c, err)
+			return localModel{}, fmt.Errorf("core: locality %d: %w", c, err)
 		}
-		model.locals[c] = lm
+		return lm, nil
+	}
+
+	workers := cfg.workerCount()
+	if workers > cfg.ClusterK {
+		workers = cfg.ClusterK
+	}
+	errs := make([]error, cfg.ClusterK)
+	if workers <= 1 {
+		for c := 0; c < cfg.ClusterK; c++ {
+			model.locals[c], errs[c] = buildLocal(c)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1))
+					if c >= cfg.ClusterK {
+						return
+					}
+					model.locals[c], errs[c] = buildLocal(c)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Report the lowest-index failure so error messages do not depend on
+	// goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return model, nil
 }

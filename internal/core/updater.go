@@ -5,6 +5,8 @@ import (
 	"sync"
 
 	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
@@ -24,6 +26,13 @@ type UploadBatch struct {
 // accumulates trusted readings (bootstrap war-driving plus accepted WSD
 // uploads), relabels with Algorithm 1, and retrains the model. It is safe
 // for concurrent use.
+//
+// Retrain is non-blocking with respect to the rest of the API: it
+// snapshots the store under the lock, relabels and trains with the lock
+// released, and swaps the model pointer in at the end, so Submit, Model,
+// and Readings never stall behind a rebuild. Concurrent Retrain callers
+// coalesce onto the single in-flight rebuild (a single-flight latch) and
+// share its result; the collisions are counted in telemetry.
 type Updater struct {
 	mu sync.Mutex
 
@@ -31,19 +40,35 @@ type Updater struct {
 	labelCfg dataset.LabelConfig
 	// alphaPrime is the maximum accepted upload CI span (dB).
 	alphaPrime float64
+	// expectCh/expectKind, when non-zero, pin the store's scope so a
+	// mismatched batch is rejected even while the store is empty.
+	expectCh   rfenv.Channel
+	expectKind sensor.Kind
 
 	readings []dataset.Reading
 	model    *Model
 	version  int
+	// inflight is the single-flight latch: non-nil while a rebuild is
+	// running outside the lock.
+	inflight *retrainCall
 
 	// Telemetry handles (nil-safe no-ops when UpdaterConfig.Metrics is
 	// unset): upload accept/reject counts, rebuild cost, store size.
-	metrics        *telemetry.Registry
-	scope          string
-	acceptedTotal  *telemetry.Counter
-	rejectedTotal  *telemetry.Counter
-	rebuildSeconds *telemetry.Histogram
-	storeReadings  *telemetry.Gauge
+	metrics         *telemetry.Registry
+	scope           string
+	acceptedTotal   *telemetry.Counter
+	rejectedTotal   *telemetry.Counter
+	rebuildSeconds  *telemetry.Histogram
+	storeReadings   *telemetry.Gauge
+	retrainCollided *telemetry.Counter
+}
+
+// retrainCall is one in-flight rebuild; waiters block on done and then
+// read the shared result.
+type retrainCall struct {
+	done  chan struct{}
+	model *Model
+	err   error
 }
 
 // UpdaterConfig assembles an Updater.
@@ -60,6 +85,12 @@ type UpdaterConfig struct {
 	// MetricsScope labels this updater's metrics, conventionally
 	// "ch47/rtl-sdr"; empty means "default".
 	MetricsScope string
+	// Channel and Sensor, when set, pin the updater's scope: Submit
+	// rejects batches for any other channel/sensor even while the store
+	// is empty. Left zero, the first accepted batch defines the store
+	// identity (the historical behaviour).
+	Channel rfenv.Channel
+	Sensor  sensor.Kind
 }
 
 // NewUpdater builds an updater with no data; call Submit or Bootstrap
@@ -82,6 +113,8 @@ func NewUpdater(cfg UpdaterConfig) (*Updater, error) {
 		cfg:        cfg.Constructor,
 		labelCfg:   cfg.Labeling,
 		alphaPrime: cfg.AlphaPrimeDB,
+		expectCh:   cfg.Channel,
+		expectKind: cfg.Sensor,
 		metrics:    cfg.Metrics,
 		scope:      scope,
 	}
@@ -94,6 +127,8 @@ func NewUpdater(cfg UpdaterConfig) (*Updater, error) {
 		"Model rebuild (relabel + retrain) duration.", nil, "store", scope)
 	u.storeReadings = cfg.Metrics.Gauge("waldo_updater_store_readings",
 		"Trusted readings currently stored.", "store", scope)
+	u.retrainCollided = cfg.Metrics.Counter("waldo_updater_retrain_contention_total",
+		"Retrain calls that coalesced onto an already in-flight rebuild.", "store", scope)
 	return u, nil
 }
 
@@ -125,6 +160,13 @@ func (u *Updater) Submit(batch UploadBatch) error {
 			return fmt.Errorf("core: mixed channels/sensors in upload")
 		}
 	}
+	// The configured scope applies even to an empty store: without it,
+	// the first accepted upload would silently define the store identity.
+	if (u.expectCh != 0 && ch != u.expectCh) || (u.expectKind != 0 && sens != u.expectKind) {
+		u.rejectedTotal.Inc()
+		return fmt.Errorf("core: upload is %v/%v, updater scope is %v/%v",
+			ch, sens, u.expectCh, u.expectKind)
+	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if len(u.readings) > 0 {
@@ -155,32 +197,67 @@ func (u *Updater) Readings() []dataset.Reading {
 	return append([]dataset.Reading(nil), u.readings...)
 }
 
-// Retrain relabels the full store with Algorithm 1 and rebuilds the model,
-// bumping the version.
+// Retrain relabels the store with Algorithm 1 and rebuilds the model,
+// bumping the version. The store is snapshotted under the lock and the
+// relabel+train runs with the lock released, so concurrent Submit and
+// Model calls proceed during the rebuild (readings accepted after the
+// snapshot are picked up by the next Retrain). If a rebuild is already in
+// flight the call waits for it and returns its result instead of starting
+// a second one.
 func (u *Updater) Retrain() (*Model, error) {
 	u.mu.Lock()
-	defer u.mu.Unlock()
+	if call := u.inflight; call != nil {
+		u.mu.Unlock()
+		u.retrainCollided.Inc()
+		<-call.done
+		return call.model, call.err
+	}
 	if len(u.readings) == 0 {
+		u.mu.Unlock()
 		return nil, fmt.Errorf("core: no readings to train on")
 	}
+	call := &retrainCall{done: make(chan struct{})}
+	u.inflight = call
+	// Snapshot: the store is append-only under mu and the full slice
+	// expression caps capacity, so the rebuild reads a stable prefix
+	// while Submit keeps appending.
+	snap := u.readings[:len(u.readings):len(u.readings)]
+	u.mu.Unlock()
+
+	model, err := u.rebuild(snap)
+
+	u.mu.Lock()
+	u.inflight = nil
+	if err == nil {
+		u.model = model
+		u.version++
+	}
+	u.mu.Unlock()
+	call.model, call.err = model, err
+	close(call.done)
+	return model, err
+}
+
+// rebuild runs the relabel+train pipeline over a store snapshot. It holds
+// no locks: this is the expensive phase Retrain keeps off the Submit and
+// Model paths.
+func (u *Updater) rebuild(snap []dataset.Reading) (*Model, error) {
 	span := u.metrics.StartSpan("retrain")
 	relabel := span.Child("relabel")
-	labels, err := dataset.LabelReadings(u.readings, u.labelCfg)
+	labels, err := dataset.LabelReadings(snap, u.labelCfg)
 	relabel.End()
 	if err != nil {
 		span.End()
 		return nil, fmt.Errorf("core: relabel: %w", err)
 	}
 	build := span.Child("build")
-	model, err := BuildModel(u.readings, labels, u.cfg)
+	model, err := BuildModel(snap, labels, u.cfg)
 	build.End()
 	d := span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild: %w", err)
 	}
 	u.rebuildSeconds.Observe(d.Seconds())
-	u.model = model
-	u.version++
 	return model, nil
 }
 

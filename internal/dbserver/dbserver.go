@@ -20,7 +20,12 @@
 //	                                           server's telemetry registry
 //	GET  /v1/model?channel=C&sensor=K          binary model descriptor; the
 //	                                           X-Waldo-Model-Version header
-//	                                           carries the version
+//	                                           carries the version and ETag a
+//	                                           strong validator. Encoded blobs
+//	                                           are cached per store keyed by
+//	                                           model version; If-None-Match
+//	                                           revalidations answer 304 with
+//	                                           no encode and no body
 //	POST /v1/readings                          JSON upload (UploadJSON); α′
 //	                                           gated, optionally screened; 204
 //	                                           on acceptance
@@ -47,6 +52,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"github.com/wsdetect/waldo/internal/core"
@@ -68,6 +74,26 @@ type Server struct {
 	updaters map[storeKey]*core.Updater
 	cfg      Config
 	metrics  *telemetry.Registry
+
+	// blobMu guards the encoded-descriptor cache. Entries are keyed by
+	// store and stamped with the model version they encode, so a
+	// retrain invalidates them implicitly: the next download sees a
+	// newer version, re-encodes once, and replaces the entry. Repeat
+	// fleet polls of an unchanged model cost one map lookup (and, with
+	// If-None-Match, no body at all).
+	blobMu sync.RWMutex
+	blobs  map[storeKey]*modelBlob
+
+	cacheHit    *telemetry.Counter
+	cacheMiss   *telemetry.Counter
+	cacheNotMod *telemetry.Counter
+}
+
+// modelBlob is one cached encoded descriptor.
+type modelBlob struct {
+	version int
+	etag    string
+	data    []byte
 }
 
 type storeKey struct {
@@ -98,10 +124,15 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.New()
 	}
+	const cacheHelp = "Model descriptor cache lookups by outcome (hit, miss, not_modified)."
 	return &Server{
-		updaters: make(map[storeKey]*core.Updater),
-		cfg:      cfg,
-		metrics:  cfg.Metrics,
+		updaters:    make(map[storeKey]*core.Updater),
+		cfg:         cfg,
+		metrics:     cfg.Metrics,
+		blobs:       make(map[storeKey]*modelBlob),
+		cacheHit:    cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "hit"),
+		cacheMiss:   cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "miss"),
+		cacheNotMod: cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "not_modified"),
 	}
 }
 
@@ -134,6 +165,8 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 		AlphaPrimeDB: s.cfg.AlphaPrimeDB,
 		Metrics:      s.metrics,
 		MetricsScope: fmt.Sprintf("%v/%v", ch, kind),
+		Channel:      ch,
+		Sensor:       kind,
 	})
 	if err != nil {
 		return nil, err
@@ -207,6 +240,57 @@ func parseKey(r *http.Request) (rfenv.Channel, sensor.Kind, error) {
 	return ch, kind, nil
 }
 
+// modelETag is the strong validator for one store's encoded descriptor.
+// The version is bumped on every retrain, so it uniquely identifies the
+// representation within a (channel, sensor) resource.
+func modelETag(ch rfenv.Channel, kind sensor.Kind, version int) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%d-%d-v%d", int(ch), int(kind), version))
+}
+
+// etagMatches implements the If-None-Match comparison (weak comparison:
+// a W/ prefix on either side is ignored, as RFC 9110 §13.1.2 requires for
+// this header).
+func etagMatches(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// encodedModel returns the cached descriptor for the store at the given
+// version, encoding and caching it on version mismatch (the first fetch
+// after a retrain). The returned byte slice is shared and must not be
+// mutated.
+func (s *Server) encodedModel(key storeKey, model *core.Model, version int) ([]byte, error) {
+	s.blobMu.RLock()
+	blob := s.blobs[key]
+	s.blobMu.RUnlock()
+	if blob != nil && blob.version == version {
+		s.cacheHit.Inc()
+		return blob.data, nil
+	}
+	s.cacheMiss.Inc()
+	var buf bytes.Buffer
+	if err := core.EncodeModel(&buf, model); err != nil {
+		return nil, err
+	}
+	fresh := &modelBlob{version: version, etag: modelETag(key.ch, key.kind, version), data: buf.Bytes()}
+	s.blobMu.Lock()
+	// Keep the newest version if a concurrent encode raced us there.
+	if cur := s.blobs[key]; cur == nil || cur.version < version {
+		s.blobs[key] = fresh
+	}
+	s.blobMu.Unlock()
+	return fresh.data, nil
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	ch, kind, err := parseKey(r)
 	if err != nil {
@@ -223,14 +307,23 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "model not trained yet", http.StatusNotFound)
 		return
 	}
-	var buf bytes.Buffer
-	if err := core.EncodeModel(&buf, model); err != nil {
+	etag := modelETag(ch, kind, version)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Waldo-Model-Version", strconv.Itoa(version))
+	// Conditional fleet polls short-circuit before any encode: the
+	// version check needs only the updater's counter.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.cacheNotMod.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, err := s.encodedModel(storeKey{ch, kind}, model, version)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Waldo-Model-Version", strconv.Itoa(version))
-	if _, err := w.Write(buf.Bytes()); err != nil {
+	if _, err := w.Write(data); err != nil {
 		return // client went away
 	}
 }

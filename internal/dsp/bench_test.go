@@ -42,6 +42,21 @@ func BenchmarkFFT4096(b *testing.B) {
 	}
 }
 
+// BenchmarkPowerSpectrum256 is the full per-capture feature-extraction
+// front end: copy, FFT, and |X[k]|²/N² into a caller buffer. With the
+// pooled scratch buffer and cached twiddle factors it is alloc-free.
+func BenchmarkPowerSpectrum256(b *testing.B) {
+	x := benchSignal(256)
+	dst := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := PowerSpectrumInto(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPercentile(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	xs := make([]float64, 1024)

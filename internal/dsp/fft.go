@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time FFT of x.
@@ -35,6 +37,30 @@ func IFFT(x []complex128) error {
 	return nil
 }
 
+// twiddleTables caches the forward twiddle factors e^{-2πi k/n} for
+// k < n/2, one table per power-of-two size, indexed by log2(n). Feature
+// extraction runs one FFT per capture on the mobile hot path, so the
+// tables are computed once per process and looked up lock- and
+// allocation-free afterwards (the inverse transform conjugates on the
+// fly). Direct evaluation per index is also more accurate than the
+// historical incremental w *= wStep recurrence, which accumulated
+// rounding error across each butterfly group.
+var twiddleTables [64]atomic.Pointer[[]complex128]
+
+func twiddles(n int) []complex128 {
+	idx := bits.TrailingZeros(uint(n))
+	if p := twiddleTables[idx].Load(); p != nil {
+		return *p
+	}
+	t := make([]complex128, n/2)
+	for k := range t {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		t[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	twiddleTables[idx].Store(&t)
+	return t
+}
+
 func fft(x []complex128, inverse bool) error {
 	n := len(x)
 	if n == 0 {
@@ -53,43 +79,66 @@ func fft(x []complex128, inverse bool) error {
 		}
 	}
 
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
+	tw := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		ang := sign * 2 * math.Pi / float64(size)
-		wStep := complex(math.Cos(ang), math.Sin(ang))
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := start; k < start+half; k++ {
+			for j := 0; j < half; j++ {
+				w := tw[j*stride]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				k := start + j
 				u := x[k]
 				v := x[k+half] * w
 				x[k] = u + v
 				x[k+half] = u - v
-				w *= wStep
 			}
 		}
 	}
 	return nil
 }
 
+// fftScratch pools FFT work buffers for PowerSpectrumInto: feature
+// extraction runs once per capture, and without the pool every capture
+// paid a []complex128 allocation.
+var fftScratch = sync.Pool{New: func() any { return new([]complex128) }}
+
 // PowerSpectrum returns the per-bin power |X[k]|²/N² of the FFT of x,
 // leaving x untouched. Bins are returned in standard FFT order (DC first).
 func PowerSpectrum(x []complex128) ([]float64, error) {
-	buf := make([]complex128, len(x))
-	copy(buf, x)
-	if err := FFT(buf); err != nil {
+	ps := make([]float64, len(x))
+	if err := PowerSpectrumInto(ps, x); err != nil {
 		return nil, err
 	}
-	n := float64(len(x))
-	ps := make([]float64, len(buf))
-	for i, c := range buf {
-		re, im := real(c), imag(c)
-		ps[i] = (re*re + im*im) / (n * n)
-	}
 	return ps, nil
+}
+
+// PowerSpectrumInto computes the power spectrum of x into dst, which must
+// have the same length, leaving x untouched. It allocates nothing in
+// steady state: the FFT work buffer comes from a pool and the twiddle
+// factors from the per-size cache.
+func PowerSpectrumInto(dst []float64, x []complex128) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("dsp: power spectrum into %d bins for %d samples", len(dst), len(x))
+	}
+	bufp := fftScratch.Get().(*[]complex128)
+	if cap(*bufp) < len(x) {
+		*bufp = make([]complex128, len(x))
+	}
+	buf := (*bufp)[:len(x)]
+	copy(buf, x)
+	err := FFT(buf)
+	if err == nil {
+		n := float64(len(x))
+		for i, c := range buf {
+			re, im := real(c), imag(c)
+			dst[i] = (re*re + im*im) / (n * n)
+		}
+	}
+	fftScratch.Put(bufp)
+	return err
 }
 
 // FFTShift reorders a spectrum so that DC sits at the center bin, the usual

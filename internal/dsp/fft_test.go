@@ -139,6 +139,48 @@ func TestPowerSpectrumDC(t *testing.T) {
 	}
 }
 
+// TestFFTZeroAlloc pins the hot-path allocation contract: once the
+// twiddle table for a size exists and the scratch pool is warm, neither
+// FFT nor PowerSpectrumInto allocates. This is what BenchmarkFFT256's
+// 0 allocs/op measures; the test makes it a hard failure instead of a
+// benchmark regression.
+func TestFFTZeroAlloc(t *testing.T) {
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%3))
+	}
+	buf := make([]complex128, 256)
+	dst := make([]float64, 256)
+	// Warm the twiddle cache and scratch pool.
+	if err := PowerSpectrumInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("FFT allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := PowerSpectrumInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("PowerSpectrumInto allocs/op = %v, want 0", n)
+	}
+}
+
+func TestPowerSpectrumIntoValidation(t *testing.T) {
+	if err := PowerSpectrumInto(make([]float64, 8), make([]complex128, 16)); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if err := PowerSpectrumInto(nil, nil); err != nil {
+		t.Errorf("empty input: %v", err)
+	}
+}
+
 func TestFFTShift(t *testing.T) {
 	ps := []float64{0, 1, 2, 3, 4, 5, 6, 7}
 	shifted := FFTShift(ps)

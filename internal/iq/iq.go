@@ -146,11 +146,17 @@ type Spectrum struct {
 
 // NewSpectrum computes the shifted power spectrum of a capture.
 func NewSpectrum(samples []complex128) (*Spectrum, error) {
-	ps, err := dsp.PowerSpectrum(samples)
-	if err != nil {
+	bins := make([]float64, len(samples))
+	if err := dsp.PowerSpectrumInto(bins, samples); err != nil {
 		return nil, err
 	}
-	return &Spectrum{Bins: dsp.FFTShift(ps)}, nil
+	// The FFT length is a power of two, so the DC-to-center shift is an
+	// in-place half swap (one allocation fewer than dsp.FFTShift).
+	half := len(bins) / 2
+	for i := 0; i < half; i++ {
+		bins[i], bins[i+half] = bins[i+half], bins[i]
+	}
+	return &Spectrum{Bins: bins}, nil
 }
 
 // CenterBinMW returns the power of the central DFT bin — the paper's CFT

@@ -2,12 +2,20 @@
 // Waldo Model Constructor clusters reading locations into "localities" and
 // trains one classifier per cluster (paper §3.2), trading model locality
 // against download overhead.
+//
+// The assignment step and the k-means++ distance scans — the O(n·k·dim)
+// bulk of the work at metro scale — fan out across a worker pool. Every
+// point's nearest-center computation is independent and partial results
+// are written to disjoint slice ranges, so the output is byte-identical
+// for any worker count (and identical to the historical serial code).
 package kmeans
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Result is a fitted clustering.
@@ -30,6 +38,57 @@ type Config struct {
 	MaxIterations int
 	// Seed drives k-means++ seeding.
 	Seed int64
+	// Workers caps the pool for the assignment and seeding distance
+	// scans; 0 (or negative) means GOMAXPROCS, 1 forces serial. The
+	// result is byte-identical regardless of the setting: only
+	// per-point work is parallelized, and all floating-point
+	// reductions (centroid sums, inertia, D² totals) run serially in
+	// point order.
+	Workers int
+}
+
+// minParallelPoints gates the worker fan-out: below this many points the
+// goroutine handoff costs more than the scan itself.
+const minParallelPoints = 512
+
+// resolveWorkers maps the Workers knob to an effective pool size for n
+// points.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n < minParallelPoints {
+		return 1
+	}
+	return workers
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// runs fn on each, passing the chunk index w. With one worker it runs
+// inline. Chunks are disjoint, so fn may write to per-index (or per-w)
+// outputs without synchronization.
+func parallelRanges(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }
 
 // Run clusters the rows of x into cfg.K groups.
@@ -50,30 +109,46 @@ func Run(x [][]float64, cfg Config) (*Result, error) {
 	if maxIter == 0 {
 		maxIter = 100
 	}
+	workers := resolveWorkers(cfg.Workers, len(x))
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	centers := seedPlusPlus(x, cfg.K, rng)
+	centers := seedPlusPlus(x, cfg.K, rng, workers)
 	assign := make([]int, len(x))
 	counts := make([]int, cfg.K)
 	sums := make([][]float64, cfg.K)
 	for c := range sums {
 		sums[c] = make([]float64, dim)
 	}
+	changedBy := make([]bool, workers)
 
 	var iters int
 	for iters = 1; iters <= maxIter; iters++ {
+		// Assignment: each worker scans a disjoint range of points.
+		// assign[i] depends only on x[i] and the shared read-only
+		// centers, so the outcome matches the serial scan exactly.
+		first := iters == 1
+		parallelRanges(len(x), workers, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, _ := Nearest(centers, x[i])
+				if assign[i] != best || first {
+					assign[i] = best
+					changedBy[w] = true
+				}
+			}
+		})
 		changed := false
-		for i, p := range x {
-			best, _ := Nearest(centers, p)
-			if assign[i] != best || iters == 1 {
-				assign[i] = best
+		for w := range changedBy {
+			if changedBy[w] {
 				changed = true
+				changedBy[w] = false
 			}
 		}
 		if !changed {
 			break
 		}
-		// Recompute centroids.
+		// Recompute centroids. The sums accumulate serially in point
+		// order: determinism matters more than parallelizing this
+		// O(n·dim) pass, which is dwarfed by the O(n·k·dim) scan above.
 		for c := range sums {
 			counts[c] = 0
 			for j := range sums[c] {
@@ -128,16 +203,35 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// seedPlusPlus picks initial centers with k-means++ (D² sampling).
-func seedPlusPlus(x [][]float64, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus picks initial centers with k-means++ (D² sampling). The
+// min-distance table is maintained incrementally — after each new center
+// only the distance to that center is scanned, in parallel — which is
+// exactly the min the historical full rescan computed, so the sampled
+// centers are bit-identical to the serial implementation.
+func seedPlusPlus(x [][]float64, k int, rng *rand.Rand, workers int) [][]float64 {
 	centers := make([][]float64, 0, k)
 	centers = append(centers, append([]float64(nil), x[rng.Intn(len(x))]...))
 	d2 := make([]float64, len(x))
-	for len(centers) < k {
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	for {
+		newest := centers[len(centers)-1]
+		parallelRanges(len(x), workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := sqDist(newest, x[i]); d < d2[i] {
+					d2[i] = d
+				}
+			}
+		})
+		if len(centers) == k {
+			return centers
+		}
+		// The D² total and the cumulative-sum sampling walk stay
+		// serial, in point order: the draw must not depend on the
+		// worker count.
 		var total float64
-		for i, p := range x {
-			_, d := Nearest(centers, p)
-			d2[i] = d
+		for _, d := range d2 {
 			total += d
 		}
 		if total == 0 {
@@ -157,5 +251,4 @@ func seedPlusPlus(x [][]float64, k int, rng *rand.Rand) [][]float64 {
 		}
 		centers = append(centers, append([]float64(nil), x[pick]...))
 	}
-	return centers
 }

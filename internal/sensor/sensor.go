@@ -173,8 +173,10 @@ type Observation struct {
 	RawDB float64
 }
 
-// Device is an instance of a sensor model. It is not safe for concurrent
-// use; each goroutine should own its device.
+// Device is an instance of a sensor model. Observe and ObserveWired only
+// read the spec and calibration, so concurrent captures are safe provided
+// each call supplies its own *rand.Rand and no goroutine calls
+// SetCalibration concurrently.
 type Device struct {
 	spec Spec
 	cal  Calibration
