@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-telemetry loadgen clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry loadgen chaos clean
 
 check: vet build race
+
+# Full pre-merge verification: formatting, vet, build, tests.
+verify: fmt-check vet build test
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -39,6 +48,14 @@ bench-telemetry:
 # End-to-end performance harness against an in-process spectrum database.
 loadgen:
 	$(GO) run ./cmd/waldo-loadgen -clients 8 -duration 5s -channels 46,47
+
+# Deterministic chaos suite: the fault-injection layer, the client/server
+# resilience tests, and the end-to-end byte-identity harness, all under
+# the race detector (DESIGN.md §9).
+chaos:
+	$(GO) test -race ./internal/faultinject/ ./internal/e2e/ -count 1
+	$(GO) test -race ./internal/client/ -run 'TestRetry|TestBackoff|TestBreaker|TestStaleServe|TestConcurrentRefreshUploadUnderFaults' -count 1
+	$(GO) test -race ./internal/dbserver/ -run 'TestLoadShedding|TestRequestTimeout|TestMaxBody' -count 1
 
 clean:
 	$(GO) clean ./...

@@ -14,12 +14,25 @@
 // encoding/decoding, α′ upload gating, updater ingestion — without any
 // external setup. Add -metrics to dump the raw Prometheus exposition
 // after the report.
+//
+// -faults replays a seeded fault schedule (internal/faultinject) on
+// every client's transport, exercising the resilience layer under load:
+//
+//	waldo-loadgen -clients 8 -duration 5s -faults 'drop=0.05,error=0.05,delay=0.1,latency=2ms'
+//
+// Recognized keys: drop, error, corrupt, truncate, delay, hang
+// (per-request probabilities), latency (duration for delay faults),
+// status (code for error faults), window (requests before the schedule
+// clears; 0 = never), and seed (defaults to -seed). The report then
+// includes injected-fault counts next to the client retry/stale/breaker
+// metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -33,6 +46,7 @@ import (
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/faultinject"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
@@ -57,6 +71,7 @@ type config struct {
 	uploadBatch int
 	seed        int64
 	dumpMetrics bool
+	faults      *faultinject.Schedule
 }
 
 func parseFlags(args []string) (config, error) {
@@ -71,6 +86,7 @@ func parseFlags(args []string) (config, error) {
 	uploadBatch := fs.Int("upload-batch", 4, "readings per upload")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	dump := fs.Bool("metrics", false, "dump the server's Prometheus exposition after the report")
+	faults := fs.String("faults", "", "seeded fault schedule on the client transport, e.g. 'drop=0.05,error=0.05,delay=0.1,latency=2ms' (see package doc)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -102,7 +118,62 @@ func parseFlags(args []string) (config, error) {
 	if len(cfg.channels) == 0 {
 		return config{}, fmt.Errorf("no channels")
 	}
+	if *faults != "" {
+		sched, err := parseFaults(*faults, uint64(cfg.seed))
+		if err != nil {
+			return config{}, err
+		}
+		cfg.faults = sched
+	}
 	return cfg, nil
+}
+
+// parseFaults builds a faultinject.Schedule from "key=value,..." pairs.
+func parseFaults(spec string, defaultSeed uint64) (*faultinject.Schedule, error) {
+	s := &faultinject.Schedule{Seed: defaultSeed}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults entry %q (want key=value)", part)
+		}
+		prob := func(dst *float64) error {
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("bad -faults probability %q=%q", k, v)
+			}
+			*dst = p
+			return nil
+		}
+		var err error
+		switch k {
+		case "drop":
+			err = prob(&s.DropP)
+		case "error":
+			err = prob(&s.ErrorP)
+		case "corrupt":
+			err = prob(&s.CorruptP)
+		case "truncate":
+			err = prob(&s.TruncateP)
+		case "delay":
+			err = prob(&s.DelayP)
+		case "hang":
+			err = prob(&s.HangP)
+		case "latency":
+			s.Latency, err = time.ParseDuration(v)
+		case "status":
+			s.Status, err = strconv.Atoi(v)
+		case "window":
+			s.Window, err = strconv.ParseUint(v, 10, 64)
+		case "seed":
+			s.Seed, err = strconv.ParseUint(v, 10, 64)
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q", k)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func run(args []string) error {
@@ -152,8 +223,19 @@ func run(args []string) error {
 	fmt.Printf("bootstrap: %d readings across %d channels, models trained in %v\n",
 		len(all), len(cfg.channels), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("server:    %s (in-process)\n", ts.URL)
-	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n\n",
+	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
 		cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+	// One shared transport replays the seeded schedule across all
+	// clients: request sequence numbers form a single stream, so the
+	// same -faults spec injects the same pattern run over run.
+	var faultTR *faultinject.Transport
+	if cfg.faults != nil {
+		faultTR = &faultinject.Transport{Plan: *cfg.faults}
+		fmt.Printf("faults:    drop=%.2f error=%.2f corrupt=%.2f truncate=%.2f delay=%.2f hang=%.2f seed=%d window=%d\n",
+			cfg.faults.DropP, cfg.faults.ErrorP, cfg.faults.CorruptP, cfg.faults.TruncateP,
+			cfg.faults.DelayP, cfg.faults.HangP, cfg.faults.Seed, cfg.faults.Window)
+	}
+	fmt.Println()
 
 	// --- Closed-loop load: N concurrent WSD clients. ---
 	clientReg := telemetry.New()
@@ -165,7 +247,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			if err := driveClient(cfg, env, ts.URL, clientReg, scansTotal, deadline, worker); err != nil {
+			if err := driveClient(cfg, env, ts.URL, faultTR, clientReg, scansTotal, deadline, worker); err != nil {
 				workerErr.CompareAndSwap(nil, err)
 			}
 		}(w)
@@ -176,6 +258,14 @@ func run(args []string) error {
 	}
 
 	report(cfg, srv.Metrics(), clientReg)
+	if faultTR != nil {
+		fmt.Printf("\nfault injection: %d requests, %d faulted (%v)\n",
+			faultTR.Requests(), faultTR.Injected(), faultCountString(faultTR.Counts()))
+		fmt.Printf("resilience:      %d retries, %d stale serves, %d breaker rejections\n",
+			clientReg.Counter("waldo_client_retries_total", "").Value(),
+			clientReg.Counter("waldo_client_stale_served_total", "").Value(),
+			clientReg.Counter("waldo_client_breaker_rejected_total", "").Value())
+	}
 	if cfg.dumpMetrics {
 		fmt.Println("\n--- /metrics ---")
 		if err := srv.Metrics().WritePrometheus(os.Stdout); err != nil {
@@ -187,8 +277,11 @@ func run(args []string) error {
 
 // driveClient runs one WSD's closed loop until the deadline: download the
 // area's models once (cache hits afterwards), then scan at random metro
-// locations and upload every converged decision's readings.
-func driveClient(cfg config, env *rfenv.Environment, baseURL string,
+// locations and upload every converged decision's readings. With a fault
+// transport installed, transient client errors are expected traffic —
+// the resilience layer (retries, stale-serve, breaker) absorbs them and
+// the loop presses on.
+func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
 	reg *telemetry.Registry, scans *telemetry.Counter, deadline time.Time, worker int) error {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(worker)*7919))
 	spec, err := sensor.SpecFor(sensor.KindRTLSDR)
@@ -201,7 +294,15 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string,
 	}
 	radio := &client.SimRadio{Env: env, Device: dev, Rng: rng}
 
-	c, err := client.New(baseURL, nil)
+	var httpc *http.Client
+	if faultTR != nil {
+		httpc = &http.Client{Transport: faultTR}
+	}
+	c, err := client.NewWithConfig(baseURL, client.Config{
+		HTTPClient: httpc,
+		Retry:      client.RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Seed: uint64(cfg.seed) + uint64(worker)},
+		Breaker:    client.BreakerPolicy{Cooldown: 100 * time.Millisecond},
+	})
 	if err != nil {
 		return err
 	}
@@ -209,6 +310,9 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string,
 	models := make(map[rfenv.Channel]*core.Model, len(cfg.channels))
 	for _, ch := range cfg.channels {
 		m, _, err := c.Model(ch, sensor.KindRTLSDR)
+		for err != nil && faultTR != nil && time.Now().Before(deadline) {
+			m, _, err = c.Model(ch, sensor.KindRTLSDR)
+		}
 		if err != nil {
 			return err
 		}
@@ -230,6 +334,9 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string,
 			c.Invalidate(ch, sensor.KindRTLSDR)
 		}
 		if _, _, err := c.Model(ch, sensor.KindRTLSDR); err != nil {
+			if faultTR != nil {
+				continue // outage past the retry budget; next cycle
+			}
 			return err
 		}
 
@@ -312,6 +419,20 @@ func printLatency(name string, s telemetry.HistogramSnapshot) {
 
 func fmtSeconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// faultCountString renders injected-fault counts in a stable kind order.
+func faultCountString(counts map[faultinject.Kind]uint64) string {
+	var parts []string
+	for k := faultinject.Drop; k <= faultinject.Truncate; k++ {
+		if n, ok := counts[k]; ok {
+			parts = append(parts, fmt.Sprintf("%v=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }
 
 // collectRoutes lists the routes the server actually served.

@@ -3,15 +3,25 @@
 // Local Model Parameters Updater that downloads and caches per-channel
 // model descriptors, the detection loop that streams captures through the
 // White Space Detector, and the Global Model Updater upload path.
+//
+// The client is built for flaky connectivity (the paper's operating
+// assumption — a mobile WSD keeps detecting locally through offline
+// stretches): every exchange has a per-attempt timeout, retries with
+// capped exponential backoff and deterministic jitter, and runs behind a
+// circuit breaker; model lookups serve the cached descriptor when the
+// database is unreachable (stale-while-erroring). See resilience.go.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/wsdetect/waldo/internal/core"
@@ -22,24 +32,61 @@ import (
 	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
+// Config parameterizes a Client's transport and resilience behavior. The
+// zero value is production-ready: 10 s per-attempt timeout, 4 attempts
+// with 50 ms–2 s backoff, a 5-failure/5 s-cooldown breaker, and
+// stale-while-erroring model serving.
+type Config struct {
+	// HTTPClient performs the exchanges; nil means a fresh client with
+	// Timeout as its overall budget (never http.DefaultClient, which
+	// has no timeout at all).
+	HTTPClient *http.Client
+	// Timeout bounds each individual attempt via its context; 0 means
+	// 10 s. Negative disables the per-attempt deadline.
+	Timeout time.Duration
+	// Retry bounds the retry loop (see RetryPolicy).
+	Retry RetryPolicy
+	// Breaker parameterizes the circuit breaker (see BreakerPolicy;
+	// Threshold < 0 disables it).
+	Breaker BreakerPolicy
+	// DisableStaleServe makes Model/Refresh surface errors even while a
+	// cached descriptor exists, instead of degrading to the cache.
+	DisableStaleServe bool
+	// Sleep implements backoff waits; nil means a context-aware
+	// real-time sleep. Injectable for fast deterministic tests.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the breaker's clock; nil means time.Now.
+	Now func() time.Time
+}
+
 // Client talks to a Waldo spectrum database. It caches model descriptors:
 // one download covers a large area, which is the protocol advantage over
-// per-location spectrum-database queries (§5).
+// per-location spectrum-database queries (§5), and the cached copy keeps
+// serving when the database is unreachable.
 type Client struct {
-	baseURL string
-	httpc   *http.Client
+	baseURL   string
+	httpc     *http.Client
+	timeout   time.Duration
+	retry     RetryPolicy
+	brk       *breaker
+	staleOK   bool
+	sleep     func(ctx context.Context, d time.Duration) error
+	jitterSeq atomic.Uint64
 
 	mu    sync.Mutex
 	cache map[cacheKey]cached
 
 	// Telemetry handles (nil-safe no-ops until SetMetrics): model
-	// download/upload latency, cache hit ratio, upload outcomes.
+	// download/upload latency, cache hit ratio, upload outcomes, and
+	// the resilience counters (retries, stale serves, breaker).
 	fetchSeconds  *telemetry.Histogram
 	uploadSeconds *telemetry.Histogram
 	cacheHits     *telemetry.Counter
 	cacheMisses   *telemetry.Counter
 	uploadsOK     *telemetry.Counter
 	uploadsFailed *telemetry.Counter
+	retriesTotal  *telemetry.Counter
+	staleServed   *telemetry.Counter
 }
 
 type cacheKey struct {
@@ -55,21 +102,45 @@ type cached struct {
 }
 
 // New returns a client for the database at baseURL (e.g.
-// "http://localhost:8473"). httpc may be nil for http.DefaultClient.
+// "http://localhost:8473") with default resilience. httpc may be nil for
+// a default client with a sane timeout (never http.DefaultClient).
 func New(baseURL string, httpc *http.Client) (*Client, error) {
+	return NewWithConfig(baseURL, Config{HTTPClient: httpc})
+}
+
+// NewWithConfig returns a client with explicit transport and resilience
+// parameters.
+func NewWithConfig(baseURL string, cfg Config) (*Client, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("client: empty base URL")
 	}
-	if httpc == nil {
-		httpc = http.DefaultClient
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
 	}
-	return &Client{baseURL: baseURL, httpc: httpc, cache: make(map[cacheKey]cached)}, nil
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Timeout}
+	}
+	cfg.Retry.defaults()
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepCtx
+	}
+	return &Client{
+		baseURL: baseURL,
+		httpc:   cfg.HTTPClient,
+		timeout: cfg.Timeout,
+		retry:   cfg.Retry,
+		brk:     newBreaker(cfg.Breaker, cfg.Now),
+		staleOK: !cfg.DisableStaleServe,
+		sleep:   cfg.Sleep,
+		cache:   make(map[cacheKey]cached),
+	}, nil
 }
 
 // SetMetrics wires the client's telemetry into reg: download and upload
-// latency histograms, cache hit/miss counters, and upload outcomes. Call
-// before issuing requests; a nil registry leaves the client
-// uninstrumented.
+// latency histograms, cache hit/miss counters, upload outcomes, and the
+// resilience metrics (retries, stale serves, breaker state and
+// transitions). Call before issuing requests; a nil registry leaves the
+// client uninstrumented.
 func (c *Client) SetMetrics(reg *telemetry.Registry) {
 	c.fetchSeconds = reg.Histogram("waldo_client_model_fetch_seconds",
 		"Model descriptor download latency (cache misses only).", nil)
@@ -83,12 +154,120 @@ func (c *Client) SetMetrics(reg *telemetry.Registry) {
 		"Upload attempts by outcome.", "outcome", "accepted")
 	c.uploadsFailed = reg.Counter("waldo_client_uploads_total",
 		"Upload attempts by outcome.", "outcome", "failed")
+	c.retriesTotal = reg.Counter("waldo_client_retries_total",
+		"Request attempts beyond the first (backoff retries).")
+	c.staleServed = reg.Counter("waldo_client_stale_served_total",
+		"Model lookups served from the cache because the database was unreachable.")
+	const transHelp = "Circuit breaker state transitions by destination state."
+	c.brk.stateGauge = reg.Gauge("waldo_client_breaker_state",
+		"Circuit breaker state (0 closed, 1 half-open, 2 open).")
+	c.brk.toOpen = reg.Counter("waldo_client_breaker_transitions_total", transHelp, "to", "open")
+	c.brk.toHalfOpen = reg.Counter("waldo_client_breaker_transitions_total", transHelp, "to", "half_open")
+	c.brk.toClosed = reg.Counter("waldo_client_breaker_transitions_total", transHelp, "to", "closed")
+	c.brk.rejected = reg.Counter("waldo_client_breaker_rejected_total",
+		"Requests failed fast by the open circuit breaker.")
 }
 
+// retryableError marks a handler failure (unreadable or undecodable
+// response body) that should re-enter the retry loop.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// do runs one logical exchange with per-attempt timeouts, the circuit
+// breaker, and retries with capped exponential backoff and deterministic
+// jitter. build must mint a fresh request per attempt; handle processes
+// any response that is not a retryable status (5xx or 429) and may return
+// a *retryableError to force another attempt. do owns closing the body.
+func (c *Client) do(ctx context.Context, op string,
+	build func(ctx context.Context) (*http.Request, error),
+	handle func(resp *http.Response) error) error {
+	var lastErr error
+	var raFloor time.Duration // server Retry-After hint for the next wait
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retriesTotal.Inc()
+			draw := splitmix64(c.retry.Seed ^ splitmix64(c.jitterSeq.Add(1)))
+			d := c.retry.delay(attempt-1, draw)
+			if raFloor > d {
+				d = min(raFloor, c.retry.MaxDelay)
+			}
+			raFloor = 0
+			if err := c.sleep(ctx, d); err != nil {
+				return fmt.Errorf("client: %s: %w", op, err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("client: %s: %w", op, err)
+		}
+		if err := c.brk.allow(); err != nil {
+			// Fail fast: the breaker already knows the database is
+			// down; burning the rest of the retry budget would only
+			// add latency.
+			return fmt.Errorf("client: %s: %w", op, err)
+		}
+		err := c.attempt(ctx, op, build, handle, &raFloor)
+		if err == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return err
+		}
+		lastErr = re.err
+	}
+	return fmt.Errorf("client: %s: retries exhausted: %w", op, lastErr)
+}
+
+// attempt performs one try of the exchange. It returns nil on success, a
+// *retryableError for transport failures, retryable statuses, and
+// handler-flagged retryables, and a terminal error otherwise.
+func (c *Client) attempt(ctx context.Context, op string,
+	build func(ctx context.Context) (*http.Request, error),
+	handle func(resp *http.Response) error, raFloor *time.Duration) error {
+	actx := ctx
+	cancel := func() {}
+	if c.timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.timeout)
+	}
+	defer cancel()
+	req, err := build(actx)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", op, err)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		c.brk.record(false)
+		return &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		*raFloor = retryAfter(resp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		c.brk.record(false)
+		return &retryableError{err: fmt.Errorf("client: %s: %s", op, resp.Status)}
+	}
+	c.brk.record(true)
+	return handle(resp)
+}
+
+// BreakerState returns the circuit breaker's current state as a string
+// ("closed", "half_open", "open") for diagnostics.
+func (c *Client) BreakerState() string { return c.brk.State().String() }
+
 // Model returns the detection model for a channel/sensor, downloading it
-// on first use. The returned byte count is the descriptor size (0 on cache
-// hits), feeding the §5 download-overhead analysis.
+// on first use. See ModelCtx.
 func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
+	return c.ModelCtx(context.Background(), ch, kind)
+}
+
+// ModelCtx returns the detection model for a channel/sensor, downloading
+// it on first use. The returned byte count is the descriptor size (0 on
+// cache hits), feeding the §5 download-overhead analysis. If the download
+// fails but a cached descriptor exists (e.g. invalidation raced a network
+// partition), the cached model is served instead of an error.
+func (c *Client) ModelCtx(ctx context.Context, ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
 	key := cacheKey{ch, kind}
 	c.mu.Lock()
 	if hit, ok := c.cache[key]; ok {
@@ -98,77 +277,152 @@ func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, er
 	}
 	c.mu.Unlock()
 	c.cacheMisses.Inc()
-	return c.fetch(key, "")
+	model, n, err := c.fetch(ctx, key, "")
+	if err != nil {
+		if stale, ok := c.stale(key); ok {
+			return stale, 0, nil
+		}
+		return nil, 0, err
+	}
+	return model, n, nil
 }
 
-// Refresh revalidates the cached model for a channel/sensor against the
-// database using If-None-Match. An unchanged model costs the server no
-// encode and the wire no body (304); a changed one is downloaded and
-// replaces the cache entry. With nothing cached it behaves like Model.
-// The byte count is the transferred descriptor size (0 when the cached
-// copy was still current).
+// Refresh revalidates the cached model against the database. See
+// RefreshCtx.
 func (c *Client) Refresh(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
+	return c.RefreshCtx(context.Background(), ch, kind)
+}
+
+// RefreshCtx revalidates the cached model for a channel/sensor against
+// the database using If-None-Match. An unchanged model costs the server
+// no encode and the wire no body (304); a changed one is downloaded and
+// replaces the cache entry. With nothing cached it behaves like ModelCtx.
+// The byte count is the transferred descriptor size (0 when the cached
+// copy was still current). While a cached descriptor exists, an
+// unreachable database degrades to the cached copy instead of an error
+// (stale-while-erroring): one download survives long offline stretches,
+// the paper's §5 protocol argument.
+func (c *Client) RefreshCtx(ctx context.Context, ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
 	key := cacheKey{ch, kind}
 	c.mu.Lock()
 	hit, ok := c.cache[key]
 	c.mu.Unlock()
-	if !ok || hit.etag == "" {
-		return c.fetch(key, "")
+	etag := ""
+	if ok {
+		etag = hit.etag
 	}
-	return c.fetch(key, hit.etag)
+	model, n, err := c.fetch(ctx, key, etag)
+	if err != nil {
+		if stale, sok := c.stale(key); sok {
+			return stale, 0, nil
+		}
+		return nil, 0, err
+	}
+	return model, n, nil
+}
+
+// stale returns the cached model for key when stale-serving is enabled,
+// counting the degradation in telemetry.
+func (c *Client) stale(key cacheKey) (*core.Model, bool) {
+	if !c.staleOK {
+		return nil, false
+	}
+	c.mu.Lock()
+	hit, ok := c.cache[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.staleServed.Inc()
+	return hit.model, true
 }
 
 // fetch downloads (or, with a non-empty etag, revalidates) one model
-// descriptor and installs it in the cache.
-func (c *Client) fetch(key cacheKey, etag string) (*core.Model, int, error) {
+// descriptor and installs it in the cache. Unreadable or undecodable
+// bodies (a flaky or tampering path) are retried like transport errors.
+func (c *Client) fetch(ctx context.Context, key cacheKey, etag string) (*core.Model, int, error) {
 	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(key.ch), int(key.kind))
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	var (
+		model    *core.Model
+		n        int
+		needFull bool
+	)
+	err := c.do(ctx, "fetch model",
+		func(actx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+			if err != nil {
+				return nil, err
+			}
+			if etag != "" {
+				req.Header.Set("If-None-Match", etag)
+			}
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			if etag != "" && resp.StatusCode == http.StatusNotModified {
+				c.mu.Lock()
+				hit, ok := c.cache[key]
+				c.mu.Unlock()
+				if ok {
+					c.cacheHits.Inc()
+					model, n = hit.model, 0
+					return nil
+				}
+				// Invalidated while revalidating; fall back to a full
+				// fetch after the loop.
+				needFull = true
+				return nil
+			}
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("client: fetch model: %s: %s", resp.Status, bytes.TrimSpace(body))
+			}
+			start := time.Now()
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			if err != nil {
+				return &retryableError{err: fmt.Errorf("client: read model: %w", err)}
+			}
+			c.fetchSeconds.Observe(time.Since(start).Seconds())
+			m, err := core.DecodeModel(bytes.NewReader(raw))
+			if err != nil {
+				// A truncated or corrupted descriptor is a wire
+				// problem, not a server decision: retry.
+				return &retryableError{err: fmt.Errorf("client: decode model: %w", err)}
+			}
+			entry := cached{
+				model:   m,
+				version: resp.Header.Get("X-Waldo-Model-Version"),
+				etag:    resp.Header.Get("ETag"),
+				bytes:   len(raw),
+			}
+			c.mu.Lock()
+			c.cache[key] = entry
+			c.mu.Unlock()
+			model, n = m, len(raw)
+			return nil
+		})
 	if err != nil {
-		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
+		return nil, 0, err
 	}
-	if etag != "" {
-		req.Header.Set("If-None-Match", etag)
+	if needFull {
+		return c.fetch(ctx, key, "")
 	}
-	start := time.Now()
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return nil, 0, fmt.Errorf("client: fetch model: %w", err)
-	}
-	defer resp.Body.Close()
-	if etag != "" && resp.StatusCode == http.StatusNotModified {
-		c.mu.Lock()
-		hit, ok := c.cache[key]
-		c.mu.Unlock()
-		if ok {
-			c.cacheHits.Inc()
-			return hit.model, 0, nil
-		}
-		// Invalidated while revalidating; fall back to a full fetch.
-		return c.fetch(key, "")
-	}
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, 0, fmt.Errorf("client: fetch model: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return nil, 0, fmt.Errorf("client: read model: %w", err)
-	}
-	c.fetchSeconds.Observe(time.Since(start).Seconds())
-	model, err := core.DecodeModel(bytes.NewReader(raw))
-	if err != nil {
-		return nil, 0, fmt.Errorf("client: decode model: %w", err)
-	}
-	entry := cached{
-		model:   model,
-		version: resp.Header.Get("X-Waldo-Model-Version"),
-		etag:    resp.Header.Get("ETag"),
-		bytes:   len(raw),
-	}
+	return model, n, nil
+}
+
+// CachedModelVersion returns the server-assigned version of the cached
+// descriptor for a channel/sensor, or "" when nothing is cached. Because
+// stale-serving never touches the cache, a caller that must distinguish
+// a fresh download from a stale fallback (e.g. the e2e harness after a
+// retrain) can compare this against the server's announced version.
+func (c *Client) CachedModelVersion(ch rfenv.Channel, kind sensor.Kind) string {
 	c.mu.Lock()
-	c.cache[key] = entry
-	c.mu.Unlock()
-	return model, len(raw), nil
+	defer c.mu.Unlock()
+	hit, ok := c.cache[cacheKey{ch, kind}]
+	if !ok {
+		return ""
+	}
+	return hit.version
 }
 
 // Invalidate drops a cached model (e.g. after leaving the area).
@@ -178,8 +432,19 @@ func (c *Client) Invalidate(ch rfenv.Channel, kind sensor.Kind) {
 	delete(c.cache, cacheKey{ch, kind})
 }
 
-// Upload submits a reading batch to the Global Model Updater.
+// Upload submits a reading batch to the Global Model Updater. See
+// UploadCtx.
 func (c *Client) Upload(batch core.UploadBatch) error {
+	return c.UploadCtx(context.Background(), batch)
+}
+
+// UploadCtx submits a reading batch to the Global Model Updater,
+// retrying transient failures (transport errors, 5xx, and load-shedding
+// 429s — the server's Retry-After hint floors the backoff). Because the
+// server applies a batch atomically and rejections leave no state, a
+// retry is safe; persistent failures surface as an error after the retry
+// budget.
+func (c *Client) UploadCtx(ctx context.Context, batch core.UploadBatch) error {
 	if len(batch.Readings) == 0 {
 		return fmt.Errorf("client: empty upload")
 	}
@@ -192,35 +457,53 @@ func (c *Client) Upload(batch core.UploadBatch) error {
 		return fmt.Errorf("client: marshal upload: %w", err)
 	}
 	start := time.Now()
-	resp, err := c.httpc.Post(c.baseURL+"/v1/readings", "application/json", bytes.NewReader(body))
+	err = c.do(ctx, "upload",
+		func(actx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(actx, http.MethodPost,
+				c.baseURL+"/v1/readings", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusNoContent {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("client: upload rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			}
+			return nil
+		})
 	if err != nil {
 		c.uploadsFailed.Inc()
-		return fmt.Errorf("client: upload: %w", err)
+		return err
 	}
-	defer resp.Body.Close()
 	c.uploadSeconds.Observe(time.Since(start).Seconds())
-	if resp.StatusCode != http.StatusNoContent {
-		c.uploadsFailed.Inc()
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("client: upload rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
 	c.uploadsOK.Inc()
 	return nil
 }
 
-// RequestRetrain asks the database to rebuild one model.
+// RequestRetrain asks the database to rebuild one model. See
+// RequestRetrainCtx.
 func (c *Client) RequestRetrain(ch rfenv.Channel, kind sensor.Kind) error {
+	return c.RequestRetrainCtx(context.Background(), ch, kind)
+}
+
+// RequestRetrainCtx asks the database to rebuild one model, retrying
+// transient failures.
+func (c *Client) RequestRetrainCtx(ctx context.Context, ch rfenv.Channel, kind sensor.Kind) error {
 	url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
-	resp, err := c.httpc.Post(url, "", nil)
-	if err != nil {
-		return fmt.Errorf("client: retrain: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("client: retrain failed: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return c.do(ctx, "retrain",
+		func(actx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(actx, http.MethodPost, url, nil)
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("client: retrain failed: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			}
+			return nil
+		})
 }
 
 // UploadFromDecision packages a detection's readings into an upload batch.

@@ -43,6 +43,16 @@
 // Every route is wrapped in telemetry middleware (request counts by
 // status, latency histograms, in-flight gauge), so /metrics observes the
 // server's own traffic with no external collector.
+//
+// # Overload and failure behavior
+//
+// The /v1 data routes are individually bounded: Config.RequestTimeout
+// caps each request's handler (503 on expiry), Config.MaxBodyBytes caps
+// upload bodies, and Config.MaxInFlight sheds load — requests beyond the
+// concurrency limit are answered 429 with a Retry-After hint instead of
+// queueing without bound, counted in waldo_dbserver_shed_total. The
+// health and metrics probes are exempt from shedding so operators can
+// still see an overloaded server.
 package dbserver
 
 import (
@@ -54,6 +64,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
@@ -87,6 +99,11 @@ type Server struct {
 	cacheHit    *telemetry.Counter
 	cacheMiss   *telemetry.Counter
 	cacheNotMod *telemetry.Counter
+
+	// inFlight counts data-route requests currently being served, for
+	// the MaxInFlight load-shedding gate.
+	inFlight  atomic.Int64
+	shedTotal *telemetry.Counter
 }
 
 // modelBlob is one cached encoded descriptor.
@@ -117,6 +134,18 @@ type Config struct {
 	// and screening instrumentation) and backs the /metrics endpoint.
 	// Nil means a fresh private registry, so telemetry is always on.
 	Metrics *telemetry.Registry
+	// RequestTimeout bounds each data-route request's handler; expired
+	// requests are answered 503. 0 disables the per-request deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps accepted upload bodies; 0 means 4 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight, when positive, sheds load: data-route requests
+	// beyond this many concurrently in flight are answered 429 with a
+	// Retry-After hint instead of queueing. Health and metrics probes
+	// are exempt. 0 disables shedding.
+	MaxInFlight int
+	// RetryAfter is the hint advertised on shed responses; 0 means 1 s.
+	RetryAfter time.Duration
 }
 
 // New returns an empty database server.
@@ -133,6 +162,8 @@ func New(cfg Config) *Server {
 		cacheHit:    cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "hit"),
 		cacheMiss:   cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "miss"),
 		cacheNotMod: cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "not_modified"),
+		shedTotal: cfg.Metrics.Counter("waldo_dbserver_shed_total",
+			"Data-route requests answered 429 by the load-shedding gate."),
 	}
 }
 
@@ -197,18 +228,25 @@ func (s *Server) Bootstrap(readings []dataset.Reading) error {
 }
 
 // Handler returns the HTTP API (see the package comment for the full
-// surface). Every route is served through the telemetry middleware.
+// surface). Every route is served through the telemetry middleware; the
+// /v1 data routes additionally run behind the load-shedding gate and the
+// per-request timeout, so the telemetry counters see the shed 429s and
+// timed-out 503s too. Probes (health, metrics) bypass the gate: an
+// overloaded server must still answer its operators.
 func (s *Server) Handler() http.Handler {
 	m := s.metrics
 	mux := http.NewServeMux()
-	route := func(pattern, label string, h http.HandlerFunc) {
+	probe := func(pattern, label string, h http.HandlerFunc) {
 		mux.Handle(pattern, m.WrapRoute(label, h))
 	}
-	route("GET /v1/health", "/v1/health", func(w http.ResponseWriter, _ *http.Request) {
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, m.WrapRoute(label, s.protect(h)))
+	}
+	probe("GET /v1/health", "/v1/health", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	route("GET /healthz", "/healthz", s.handleHealthz)
+	probe("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /v1/model", "/v1/model", s.handleModel)
 	route("POST /v1/readings", "/v1/readings", s.handleReadings)
 	route("POST /v1/retrain", "/v1/retrain", s.handleRetrain)
@@ -216,6 +254,43 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", m.Handler())
 	return mux
+}
+
+// protect applies the data-route failure bounds: the load-shedding gate
+// outermost (cheap rejection before any work), then the per-request
+// timeout around the actual handler.
+func (s *Server) protect(h http.Handler) http.Handler {
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+	}
+	if s.cfg.MaxInFlight > 0 {
+		h = s.shed(h)
+	}
+	return h
+}
+
+// shed answers 429 with a Retry-After hint when more than MaxInFlight
+// data-route requests are already being served. Bounding concurrency
+// keeps latency predictable under the ROADMAP's "millions of users"
+// load: a client told to come back later beats one queued into a
+// timeout.
+func (s *Server) shed(next http.Handler) http.Handler {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	retryAfter := strconv.Itoa(secs)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(s.inFlight.Add(1)) > s.cfg.MaxInFlight {
+			s.inFlight.Add(-1)
+			s.shedTotal.Inc()
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer s.inFlight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
 }
 
 func parseKey(r *http.Request) (rfenv.Channel, sensor.Kind, error) {
@@ -392,8 +467,12 @@ func FromReading(r dataset.Reading) ReadingJSON {
 }
 
 func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
+	limit := s.cfg.MaxBodyBytes
+	if limit <= 0 {
+		limit = 4 << 20
+	}
 	var up UploadJSON
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(&up); err != nil {
 		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
 		return
@@ -578,6 +657,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if err := json.NewEncoder(w).Encode(rep); err != nil {
 		return // client went away
 	}
+}
+
+// ModelVersion reports the current model version for a channel/sensor
+// (0 when the store is absent or untrained).
+func (s *Server) ModelVersion(ch rfenv.Channel, kind sensor.Kind) int {
+	u, ok := s.lookup(ch, kind)
+	if !ok {
+		return 0
+	}
+	_, version := u.Model()
+	return version
 }
 
 // StoreSize reports the number of stored readings for a channel/sensor.

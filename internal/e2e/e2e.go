@@ -1,0 +1,438 @@
+// Package e2e is Waldo's deterministic end-to-end chaos harness. It runs
+// the full pipeline in one process — war-driving campaign → central
+// spectrum database → WSD client refresh/upload cycles → White Space
+// Detector decisions — with fault-injection hooks on both sides of the
+// HTTP wire (internal/faultinject), and renders the outcome in two
+// byte-comparable artifacts: a decision log and the database's store
+// contents.
+//
+// The harness's central claim, asserted by its tests, is the paper's §5
+// resilience argument made executable: for any seeded fault schedule
+// that eventually clears, the final detector decisions and the server's
+// trusted stores are byte-identical to a fault-free run, and the client
+// never surfaces an error while it holds a cached model. Determinism
+// comes from three properties:
+//
+//   - every simulation RNG is derived from (Seed, cycle, channel), never
+//     from a shared stream a retry could perturb;
+//   - injected faults are state-safe (see faultinject): a faulted
+//     request either never reaches the server or only mangles the
+//     response body, so retries have exactly-once effect;
+//   - the model is only retrained at the end of the run, after faults
+//     have cleared, so stale-served descriptors are bit-equal to fresh
+//     ones.
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/faultinject"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+// Config parameterizes one harness run. The zero value (plus a Seed) is
+// a small fault-free run on channel 47.
+type Config struct {
+	// Seed drives every simulation RNG in the run.
+	Seed int64
+	// Channels to bootstrap, serve, and scan; nil means {47}.
+	Channels []rfenv.Channel
+	// Samples is the bootstrap campaign size; 0 means 500.
+	Samples int
+	// Cycles is the number of refresh → scan → upload duty cycles;
+	// 0 means 6.
+	Cycles int
+	// AlphaDB is the detector sensitivity; 0 means 0.5 dB.
+	AlphaDB float64
+	// AlphaPrimeDB is the server's upload acceptance criterion;
+	// 0 means 1 dB.
+	AlphaPrimeDB float64
+	// ClientPlan injects faults into the client's transport; nil for a
+	// clean client path.
+	ClientPlan faultinject.Plan
+	// ServerPlan injects faults in front of the server's handler; nil
+	// for a clean server path.
+	ServerPlan faultinject.Plan
+	// Client overrides the WSD client's resilience parameters. The
+	// harness defaults to fast chaos-friendly values (250 ms attempt
+	// timeout, 1–10 ms backoff, 25 ms breaker cooldown) so fault-heavy
+	// runs stay quick.
+	Client client.Config
+	// Server carries the database's resilience knobs (RequestTimeout,
+	// MaxBodyBytes, MaxInFlight, RetryAfter); constructor, labeling,
+	// and metrics fields are managed by the harness.
+	Server dbserver.Config
+	// MaxWall bounds the whole run; 0 means 2 minutes. A fault
+	// schedule that never clears fails the run at this deadline
+	// instead of hanging.
+	MaxWall time.Duration
+}
+
+func (c *Config) defaults() {
+	if len(c.Channels) == 0 {
+		c.Channels = []rfenv.Channel{47}
+	}
+	if c.Samples == 0 {
+		c.Samples = 500
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 6
+	}
+	if c.AlphaDB == 0 {
+		c.AlphaDB = 0.5
+	}
+	if c.AlphaPrimeDB == 0 {
+		c.AlphaPrimeDB = 1.0
+	}
+	if c.Client.Timeout == 0 {
+		c.Client.Timeout = 250 * time.Millisecond
+	}
+	if c.Client.Retry.BaseDelay == 0 {
+		c.Client.Retry.BaseDelay = time.Millisecond
+	}
+	if c.Client.Retry.MaxDelay == 0 {
+		c.Client.Retry.MaxDelay = 10 * time.Millisecond
+	}
+	if c.Client.Retry.Seed == 0 {
+		c.Client.Retry.Seed = uint64(c.Seed)
+	}
+	if c.Client.Breaker.Cooldown == 0 {
+		c.Client.Breaker.Cooldown = 25 * time.Millisecond
+	}
+	if c.MaxWall == 0 {
+		c.MaxWall = 2 * time.Minute
+	}
+}
+
+// Result is one run's byte-comparable outcome plus resilience counters.
+type Result struct {
+	// DecisionLog is a deterministic text rendering of every detector
+	// decision in the run (per-cycle and final post-retrain): two runs
+	// with equal Seed and equal eventual state are byte-identical.
+	DecisionLog []byte
+	// StoreCSV is the concatenated per-store CSV export of the
+	// database's trusted readings after the run.
+	StoreCSV []byte
+	// ModelVersion is the final served model version per channel
+	// (post-retrain; rendered into DecisionLog too).
+	ModelVersion map[rfenv.Channel]int
+
+	// Resilience counters for assertions: client retries, stale cache
+	// serves, server load sheds, and injected fault tallies.
+	Retries      uint64
+	StaleServed  uint64
+	Shed         uint64
+	ClientFaults map[faultinject.Kind]uint64
+	ServerFaults map[faultinject.Kind]uint64
+	// UploadsAccepted counts batches the database ingested.
+	UploadsAccepted uint64
+	// RefreshErrorsWhileCached counts refresh calls that surfaced an
+	// error after the channel's model had already been downloaded once.
+	// The client's stale-serve contract makes this always 0; the chaos
+	// tests assert it.
+	RefreshErrorsWhileCached uint64
+}
+
+// cycleSeed derives an independent RNG seed for one (cycle, channel)
+// pair, so retries and fault timing can never perturb the simulation
+// stream — the backbone of the byte-identical guarantee.
+func cycleSeed(seed int64, cycle int, ch rfenv.Channel) int64 {
+	x := uint64(seed)
+	x = splitmix64(x ^ uint64(cycle+1)*0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ uint64(int(ch)+1)*0xbf58476d1ce4e5b9)
+	return int64(x >> 1)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run executes one harness run.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxWall)
+	defer cancel()
+
+	// --- World: environment, campaign, trained database. ---
+	env, err := rfenv.BuildMetro(uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
+		Area: env.Area, Samples: cfg.Samples, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	camp, err := wardrive.Run(wardrive.CampaignConfig{
+		Env: env, Route: route,
+		Sensors:  []sensor.Spec{sensor.RTLSDR()},
+		Channels: cfg.Channels,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	serverReg := telemetry.New()
+	srvCfg := cfg.Server
+	srvCfg.Constructor = core.ConstructorConfig{Classifier: core.KindNB, Seed: cfg.Seed}
+	srvCfg.AlphaPrimeDB = cfg.AlphaPrimeDB
+	srvCfg.Metrics = serverReg
+	srv := dbserver.New(srvCfg)
+	var all []dataset.Reading
+	for _, ch := range cfg.Channels {
+		all = append(all, camp.Readings(ch, sensor.KindRTLSDR)...)
+	}
+	if err := srv.Bootstrap(all); err != nil {
+		return nil, err
+	}
+
+	// --- Wire: handler behind server faults, client behind transport
+	// faults. ---
+	handler := srv.Handler()
+	var serverMW *faultinject.Middleware
+	if cfg.ServerPlan != nil {
+		serverMW = &faultinject.Middleware{Plan: cfg.ServerPlan}
+		handler = serverMW.Wrap(handler)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	var clientTR *faultinject.Transport
+	ccfg := cfg.Client
+	if cfg.ClientPlan != nil {
+		clientTR = &faultinject.Transport{Plan: cfg.ClientPlan}
+		ccfg.HTTPClient = &http.Client{Transport: clientTR}
+	}
+	clientReg := telemetry.New()
+	cl, err := client.NewWithConfig(ts.URL, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetMetrics(clientReg)
+
+	// --- Duty cycles: refresh → scan → upload. ---
+	var log strings.Builder
+	uploaded := 0
+	cached := make(map[rfenv.Channel]bool, len(cfg.Channels))
+	var errsWhileCached uint64
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for _, ch := range cfg.Channels {
+			model, err := refreshUntil(ctx, cl, ch, cached, &errsWhileCached)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := scan(cfg, env, model, cycle, ch)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&log, "cycle=%d channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
+				cycle, int(ch), dec.Label, dec.Converged, dec.ReadingsUsed,
+				dec.CISpanDB, dec.Signal.RSSdBm, dec.Signal.CFTdB, dec.Signal.AFTdB)
+			if !dec.Converged || dec.CISpanDB > cfg.AlphaPrimeDB {
+				continue
+			}
+			batch := uploadBatch(cfg, dec, cycle, ch)
+			if err := untilOK(ctx, fmt.Sprintf("upload cycle %d ch %d", cycle, ch), func() error {
+				return cl.UploadCtx(ctx, batch)
+			}); err != nil {
+				return nil, err
+			}
+			uploaded++
+		}
+	}
+
+	// --- Epilogue: retrain on the grown store and take the final
+	// decisions the tests compare byte-for-byte. A fault schedule may
+	// still be mid-window here; retrains retry until they land (they
+	// have exactly-once effect — a faulted request never reaches the
+	// handler), and the final refresh loops until the client serves the
+	// post-retrain version rather than a stale cache hit, so the final
+	// decisions always come from the same model bytes. ---
+	versions := make(map[rfenv.Channel]int, len(cfg.Channels))
+	for _, ch := range cfg.Channels {
+		if err := untilOK(ctx, "final retrain", func() error {
+			return cl.RequestRetrainCtx(ctx, ch, sensor.KindRTLSDR)
+		}); err != nil {
+			return nil, err
+		}
+		model, err := refreshFresh(ctx, cl, ch, srv.ModelVersion(ch, sensor.KindRTLSDR))
+		if err != nil {
+			return nil, err
+		}
+		dec, err := scan(cfg, env, model, cfg.Cycles, ch)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&log, "final channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
+			int(ch), dec.Label, dec.Converged, dec.ReadingsUsed,
+			dec.CISpanDB, dec.Signal.RSSdBm, dec.Signal.CFTdB, dec.Signal.AFTdB)
+		versions[ch] = srv.ModelVersion(ch, sensor.KindRTLSDR)
+		fmt.Fprintf(&log, "final channel=%d model_version=%d store=%d\n",
+			int(ch), versions[ch], srv.StoreSize(ch, sensor.KindRTLSDR))
+	}
+
+	// --- Store export: out-of-band of the chaos wire (a corrupt fault
+	// on an export response would mangle the CSV without signaling an
+	// error, so store inspection must not cross the faulted path). ---
+	var stores []byte
+	for _, ch := range cfg.Channels {
+		csv, err := export(srv.Handler(), ch)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, []byte(fmt.Sprintf("# store channel=%d\n", int(ch)))...)
+		stores = append(stores, csv...)
+	}
+
+	res := &Result{
+		DecisionLog:     []byte(log.String()),
+		StoreCSV:        stores,
+		ModelVersion:    versions,
+		Retries:         clientReg.Counter("waldo_client_retries_total", "").Value(),
+		StaleServed:     clientReg.Counter("waldo_client_stale_served_total", "").Value(),
+		Shed:            serverReg.Counter("waldo_dbserver_shed_total", "").Value(),
+		UploadsAccepted: uint64(uploaded),
+
+		RefreshErrorsWhileCached: errsWhileCached,
+	}
+	if clientTR != nil {
+		res.ClientFaults = clientTR.Counts()
+	}
+	if serverMW != nil {
+		res.ServerFaults = serverMW.Counts()
+	}
+	return res, nil
+}
+
+// refreshUntil refreshes a channel's model until the client yields one:
+// instantly when the client stale-serves or the wire is clean, and
+// bounded by ctx when a fault schedule is still active. The client
+// contract — never an error while a model is cached — makes the loop
+// tight after the first success; errsWhileCached tallies every
+// violation of that contract so tests can assert it stays zero.
+func refreshUntil(ctx context.Context, cl *client.Client, ch rfenv.Channel,
+	cached map[rfenv.Channel]bool, errsWhileCached *uint64) (*core.Model, error) {
+	var model *core.Model
+	err := untilOK(ctx, fmt.Sprintf("refresh model ch %d", int(ch)), func() error {
+		m, _, err := cl.RefreshCtx(ctx, ch, sensor.KindRTLSDR)
+		if err != nil && cached[ch] {
+			*errsWhileCached++
+		}
+		if err == nil {
+			cached[ch] = true
+		}
+		model = m
+		return err
+	})
+	return model, err
+}
+
+// untilOK retries f until it succeeds or ctx expires. Each attempt
+// advances the fault schedules (they are request-indexed), so a clearing
+// schedule always terminates the loop. The short sleep between failures
+// keeps the loop from busy-spinning while the circuit breaker is
+// rejecting in its cooldown window (rejections don't advance the
+// schedules).
+func untilOK(ctx context.Context, op string, f func() error) error {
+	for {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("e2e: %s: %w (last error: %v)", op, ctx.Err(), err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// scan runs one stationary detection at a cycle-derived location with a
+// cycle-derived RNG: identical in every run with the same seed,
+// regardless of what the network did.
+func scan(cfg Config, env *rfenv.Environment, model *core.Model, cycle int, ch rfenv.Channel) (core.Decision, error) {
+	rng := rand.New(rand.NewSource(cycleSeed(cfg.Seed, cycle, ch)))
+	dev := sensor.NewDevice(sensor.RTLSDR())
+	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
+		return core.Decision{}, err
+	}
+	radio := &client.SimRadio{Env: env, Device: dev, Rng: rng}
+	loc := env.Area.Center().Offset(float64((cycle*47+int(ch))%360), 1500+float64(cycle)*400)
+	radio.SetPosition(loc)
+	wsd := &client.WSD{
+		Radio:    radio,
+		Models:   map[rfenv.Channel]*core.Model{ch: model},
+		Detector: core.DetectorConfig{AlphaDB: cfg.AlphaDB},
+	}
+	cs, err := wsd.SenseChannel(ch, loc)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	return cs.Decision, nil
+}
+
+// uploadBatch packages a converged decision into a deterministic upload:
+// the readings' sequence numbers and location are cycle-derived, and the
+// signal is the decision's aggregate, so the server's store grows
+// identically in every run that reaches the same decisions.
+func uploadBatch(cfg Config, dec core.Decision, cycle int, ch rfenv.Channel) core.UploadBatch {
+	loc := rfenv.MetroCenter.Offset(float64((cycle*47+int(ch))%360), 1500+float64(cycle)*400)
+	batch := core.UploadBatch{CISpanDB: dec.CISpanDB}
+	for i := 0; i < 4; i++ {
+		batch.Readings = append(batch.Readings, dataset.Reading{
+			Seq: cycle*1000 + i, Loc: loc, Channel: ch, Sensor: sensor.KindRTLSDR,
+			Signal: dec.Signal,
+		})
+	}
+	return batch
+}
+
+// refreshFresh refreshes until the client's cache holds exactly the
+// wanted model version. Mid-outage refreshes may legitimately
+// stale-serve an older descriptor; the epilogue needs the post-retrain
+// one, so it keeps driving the schedule forward (each iteration issues
+// real requests) until a clean fetch lands.
+func refreshFresh(ctx context.Context, cl *client.Client, ch rfenv.Channel, want int) (*core.Model, error) {
+	wantV := strconv.Itoa(want)
+	var model *core.Model
+	err := untilOK(ctx, fmt.Sprintf("final refresh ch %d", int(ch)), func() error {
+		m, _, err := cl.RefreshCtx(ctx, ch, sensor.KindRTLSDR)
+		if err != nil {
+			return err
+		}
+		if got := cl.CachedModelVersion(ch, sensor.KindRTLSDR); got != wantV {
+			return fmt.Errorf("stale model v%s, want v%s", got, wantV)
+		}
+		model = m
+		return nil
+	})
+	return model, err
+}
+
+// export renders one store's CSV by invoking the server handler
+// directly, bypassing any fault middleware on the listening socket.
+func export(h http.Handler, ch rfenv.Channel) ([]byte, error) {
+	url := fmt.Sprintf("/v1/export?channel=%d&sensor=%d", int(ch), int(sensor.KindRTLSDR))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("e2e: export: %d %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes(), nil
+}

@@ -1,0 +1,236 @@
+// Package faultinject is Waldo's deterministic network-chaos layer. The
+// paper's protocol argument (§5) is that a WSD keeps detecting locally
+// through flaky database connectivity: one model download survives long
+// offline stretches. Proving that requires a misbehaving network on
+// demand — this package provides one, as an [http.RoundTripper]
+// ([Transport]) for the client side and an [http.Handler] wrapper
+// ([Middleware]) for the server side.
+//
+// Faults are decided per request by a [Plan]: a pure function from the
+// request sequence number to a [Fault]. The two bundled plans —
+// [Schedule] (seeded probabilities, optionally confined to a fault
+// window) and [Script] (an explicit fault list) — are deterministic, so
+// a failing chaos run replays exactly from its seed.
+//
+// Injection is deliberately state-safe: drop, hang, and synthetic 5xx
+// faults are injected *instead of* forwarding, and corrupt/truncate
+// mangle only the already-received response body, so an injected fault
+// never mutates server state. A retried request therefore has
+// exactly-once effect, which is what lets the end-to-end chaos harness
+// (internal/e2e) demand byte-identical final state against a fault-free
+// run.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None forwards the request untouched.
+	None Kind = iota
+	// Drop fails the request with a transport error before it is sent.
+	Drop
+	// Delay forwards the request after sleeping Fault.Latency.
+	Delay
+	// Error answers with a synthetic 5xx without reaching the server.
+	Error
+	// Hang blocks until the request context is canceled, then fails.
+	Hang
+	// Corrupt forwards the request and flips the response body bytes.
+	Corrupt
+	// Truncate forwards the request and cuts the response body short.
+	Truncate
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Hang:
+		return "hang"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("faultinject.Kind(%d)", int(k))
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// Latency is the Delay duration; 0 means 10 ms.
+	Latency time.Duration
+	// Status is the Error response code; 0 means 503.
+	Status int
+}
+
+func (f Fault) latency() time.Duration {
+	if f.Latency <= 0 {
+		return 10 * time.Millisecond
+	}
+	return f.Latency
+}
+
+func (f Fault) status() int {
+	if f.Status == 0 {
+		return 503
+	}
+	return f.Status
+}
+
+// Plan decides the fault for the seq-th request (0-based). Decide must be
+// a pure function of seq so runs replay deterministically; it is called
+// concurrently.
+type Plan interface {
+	Decide(seq uint64) Fault
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche of
+// the input, good enough to turn (seed, seq) into an independent uniform
+// draw without any shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps (seed, seq) to a uniform float64 in [0, 1).
+func unit(seed, seq uint64) float64 {
+	return float64(splitmix64(seed^splitmix64(seq+1))>>11) / (1 << 53)
+}
+
+// Schedule is a seeded probabilistic Plan. Each request draws one uniform
+// variate from (Seed, seq) and walks the fault probabilities in a fixed
+// order, so the same seed always injects the same faults at the same
+// sequence positions regardless of timing or concurrency.
+type Schedule struct {
+	// Seed selects the fault pattern.
+	Seed uint64
+	// Per-kind injection probabilities; their sum should be ≤ 1.
+	DropP, DelayP, ErrorP, HangP, CorruptP, TruncateP float64
+	// Latency is the Delay fault duration; 0 means 10 ms.
+	Latency time.Duration
+	// Status is the Error fault response code; 0 means 503.
+	Status int
+	// Window, when non-zero, confines injection to the first Window
+	// requests — the "faults eventually clear" shape the e2e chaos
+	// harness assumes. 0 means faults never clear.
+	Window uint64
+}
+
+// Decide implements Plan.
+func (s Schedule) Decide(seq uint64) Fault {
+	if s.Window > 0 && seq >= s.Window {
+		return Fault{}
+	}
+	u := unit(s.Seed, seq)
+	cum := 0.0
+	for _, c := range []struct {
+		p    float64
+		kind Kind
+	}{
+		{s.DropP, Drop},
+		{s.DelayP, Delay},
+		{s.ErrorP, Error},
+		{s.HangP, Hang},
+		{s.CorruptP, Corrupt},
+		{s.TruncateP, Truncate},
+	} {
+		cum += c.p
+		if u < cum {
+			return Fault{Kind: c.kind, Latency: s.Latency, Status: s.Status}
+		}
+	}
+	return Fault{}
+}
+
+// Script is an explicit Plan: request seq gets Script[seq], and every
+// request past the end is clean. The zero value injects nothing.
+type Script []Fault
+
+// Decide implements Plan.
+func (s Script) Decide(seq uint64) Fault {
+	if seq < uint64(len(s)) {
+		return s[seq]
+	}
+	return Fault{}
+}
+
+// Repeat returns a Script of n copies of f — e.g. Repeat(Fault{Kind:
+// Drop}, 6) starves a retry budget of 4 attempts.
+func Repeat(f Fault, n int) Script {
+	s := make(Script, n)
+	for i := range s {
+		s[i] = f
+	}
+	return s
+}
+
+// FaultError is the transport error returned for Drop faults (wrapped in
+// a *url.Error by net/http).
+type FaultError struct {
+	Kind Kind
+	Seq  uint64
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("faultinject: %v request %d", e.Kind, e.Seq)
+}
+
+// Timeout reports false; injected drops are connection failures, not
+// deadline expiries.
+func (e *FaultError) Timeout() bool { return false }
+
+// Temporary reports true: a dropped request may be retried.
+func (e *FaultError) Temporary() bool { return true }
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// mangle deterministically corrupts body in place: every byte is XORed
+// with a pattern derived from seq. The first bytes always flip, so a
+// magic-prefixed descriptor (core's "WLDM") can never decode.
+func mangle(body []byte, seq uint64) {
+	if len(body) == 0 {
+		return
+	}
+	pat := byte(splitmix64(seq) | 0x01) // never 0: every byte changes
+	for i := range body {
+		body[i] ^= pat
+	}
+}
+
+// truncate returns body cut to half its length (dropping at least one
+// byte), so decoders see an unexpected EOF.
+func truncate(body []byte) []byte {
+	if len(body) == 0 {
+		return body
+	}
+	return body[:len(body)/2]
+}

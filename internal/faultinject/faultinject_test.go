@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	s := Schedule{Seed: 7, DropP: 0.2, DelayP: 0.1, ErrorP: 0.1, CorruptP: 0.1, TruncateP: 0.1}
+	for seq := uint64(0); seq < 2000; seq++ {
+		if a, b := s.Decide(seq), s.Decide(seq); a != b {
+			t.Fatalf("seq %d: %v != %v", seq, a, b)
+		}
+	}
+	// A different seed must produce a different pattern somewhere.
+	other := s
+	other.Seed = 8
+	same := true
+	for seq := uint64(0); seq < 2000; seq++ {
+		if s.Decide(seq) != other.Decide(seq) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 injected identical fault patterns")
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	s := Schedule{Seed: 3, DropP: 0.25, ErrorP: 0.25}
+	const n = 20000
+	counts := map[Kind]int{}
+	for seq := uint64(0); seq < n; seq++ {
+		counts[s.Decide(seq).Kind]++
+	}
+	for _, k := range []Kind{Drop, Error} {
+		frac := float64(counts[k]) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("%v rate = %.3f, want ≈0.25", k, frac)
+		}
+	}
+	if counts[None] == 0 {
+		t.Error("no clean requests at 50% total fault rate")
+	}
+}
+
+func TestScheduleWindowClears(t *testing.T) {
+	s := Schedule{Seed: 1, DropP: 1, Window: 10}
+	for seq := uint64(0); seq < 10; seq++ {
+		if s.Decide(seq).Kind != Drop {
+			t.Fatalf("seq %d inside window not dropped", seq)
+		}
+	}
+	for seq := uint64(10); seq < 100; seq++ {
+		if s.Decide(seq).Kind != None {
+			t.Fatalf("seq %d after window still faulted", seq)
+		}
+	}
+}
+
+func TestScriptAndRepeat(t *testing.T) {
+	sc := Repeat(Fault{Kind: Error, Status: 500}, 3)
+	for seq := uint64(0); seq < 3; seq++ {
+		f := sc.Decide(seq)
+		if f.Kind != Error || f.status() != 500 {
+			t.Fatalf("seq %d: %+v", seq, f)
+		}
+	}
+	if sc.Decide(3).Kind != None {
+		t.Error("script past end must be clean")
+	}
+}
+
+// testBackend counts requests actually served.
+func testBackend(t *testing.T, body string) (*httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	var served atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+func TestTransportDropNeverReachesServer(t *testing.T) {
+	ts, served := testBackend(t, "payload")
+	tr := &Transport{Plan: Script{{Kind: Drop}}}
+	httpc := &http.Client{Transport: tr}
+	if _, err := httpc.Get(ts.URL); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if served.Load() != 0 {
+		t.Error("dropped request reached the server")
+	}
+	// Next request is clean.
+	resp, err := httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "payload" {
+		t.Errorf("clean request body = %q", b)
+	}
+	if got := tr.Counts()[Drop]; got != 1 {
+		t.Errorf("drop count = %d", got)
+	}
+	if tr.Injected() != 1 || tr.Requests() != 2 {
+		t.Errorf("injected=%d requests=%d", tr.Injected(), tr.Requests())
+	}
+}
+
+func TestTransportSyntheticError(t *testing.T) {
+	ts, served := testBackend(t, "payload")
+	httpc := &http.Client{Transport: &Transport{Plan: Script{{Kind: Error}}}}
+	resp, err := httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if served.Load() != 0 {
+		t.Error("synthetic 5xx reached the server")
+	}
+}
+
+func TestTransportCorruptAndTruncate(t *testing.T) {
+	ts, _ := testBackend(t, "WLDM-model-bytes")
+	httpc := &http.Client{Transport: &Transport{Plan: Script{{Kind: Corrupt}, {Kind: Truncate}}}}
+
+	resp, err := httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) == "WLDM-model-bytes" || len(b) != len("WLDM-model-bytes") {
+		t.Errorf("corrupt body = %q", b)
+	}
+
+	resp, err = httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) != len("WLDM-model-bytes")/2 {
+		t.Errorf("truncated body length = %d", len(b))
+	}
+}
+
+func TestTransportDelayUsesInjectedSleep(t *testing.T) {
+	ts, _ := testBackend(t, "ok")
+	var slept atomic.Int64
+	tr := &Transport{
+		Plan: Script{{Kind: Delay, Latency: 42 * time.Millisecond}},
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept.Add(int64(d))
+			return nil
+		},
+	}
+	httpc := &http.Client{Transport: tr}
+	resp, err := httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := time.Duration(slept.Load()); got != 42*time.Millisecond {
+		t.Errorf("slept %v, want 42ms", got)
+	}
+}
+
+func TestTransportHangHonorsContext(t *testing.T) {
+	ts, served := testBackend(t, "ok")
+	httpc := &http.Client{Transport: &Transport{Plan: Script{{Kind: Hang}}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	if _, err := httpc.Do(req); err == nil {
+		t.Fatal("hung request returned no error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("hang did not resolve at context deadline")
+	}
+	if served.Load() != 0 {
+		t.Error("hung request reached the server")
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	var served atomic.Uint64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "WLDM-model-bytes")
+	})
+	mw := &Middleware{Plan: Script{
+		{Kind: Error, Status: 500},
+		{Kind: Drop},
+		{Kind: Corrupt},
+		{Kind: Truncate},
+	}}
+	ts := httptest.NewServer(mw.Wrap(inner))
+	defer ts.Close()
+
+	// Error: handler skipped.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 || served.Load() != 0 {
+		t.Errorf("status=%d served=%d", resp.StatusCode, served.Load())
+	}
+	// Drop: aborted connection surfaces as a transport error.
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Error("server-side drop returned no error")
+	}
+	if served.Load() != 0 {
+		t.Error("dropped request ran the handler")
+	}
+	// Corrupt: handler ran, body mangled.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if served.Load() != 1 || string(b) == "WLDM-model-bytes" {
+		t.Errorf("served=%d corrupt body=%q", served.Load(), b)
+	}
+	// Truncate: half the body.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) != len("WLDM-model-bytes")/2 {
+		t.Errorf("truncated body length = %d", len(b))
+	}
+	if mw.Injected() != 4 || mw.Requests() != 4 {
+		t.Errorf("injected=%d requests=%d", mw.Injected(), mw.Requests())
+	}
+}

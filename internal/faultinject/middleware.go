@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Middleware injects faults on the server side of the wire, in front of
+// an [http.Handler]. It mirrors [Transport]'s state-safety: Drop, Error,
+// and Hang fire before the wrapped handler runs (Drop and Hang abort the
+// connection via http.ErrAbortHandler, which the client sees as a
+// transport error), and Corrupt/Truncate buffer the handler's output and
+// mangle it on the way out. Delay sleeps before the handler.
+type Middleware struct {
+	// Plan decides per-request faults; nil injects nothing.
+	Plan Plan
+	// Sleep implements Delay faults; nil means a context-aware
+	// real-time sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	seq    atomic.Uint64
+	counts [numKinds]atomic.Uint64
+}
+
+func (m *Middleware) sleep(ctx context.Context, d time.Duration) error {
+	if m.Sleep != nil {
+		return m.Sleep(ctx, d)
+	}
+	return sleep(ctx, d)
+}
+
+// Requests returns the number of requests seen so far.
+func (m *Middleware) Requests() uint64 { return m.seq.Load() }
+
+// Counts returns the number of injected faults by kind.
+func (m *Middleware) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		if n := m.counts[k].Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Injected returns the total number of non-None faults injected.
+func (m *Middleware) Injected() uint64 {
+	var n uint64
+	for k := None + 1; k < numKinds; k++ {
+		n += m.counts[k].Load()
+	}
+	return n
+}
+
+// Wrap returns next behind the fault layer.
+func (m *Middleware) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seq := m.seq.Add(1) - 1
+		var f Fault
+		if m.Plan != nil {
+			f = m.Plan.Decide(seq)
+		}
+		m.counts[f.Kind].Add(1)
+		switch f.Kind {
+		case Drop:
+			panic(http.ErrAbortHandler)
+		case Hang:
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		case Error:
+			http.Error(w, "faultinject: injected server error", f.status())
+			return
+		case Delay:
+			if err := m.sleep(r.Context(), f.latency()); err != nil {
+				panic(http.ErrAbortHandler)
+			}
+		case Corrupt, Truncate:
+			rec := &bufferingWriter{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			body := rec.body
+			if f.Kind == Corrupt {
+				mangle(body, seq)
+			} else {
+				body = truncate(body)
+			}
+			h := w.Header()
+			for k, vs := range rec.header {
+				h[k] = vs
+			}
+			h.Del("Content-Length")
+			w.WriteHeader(rec.status())
+			w.Write(body)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bufferingWriter captures a handler's full response so the body can be
+// rewritten before anything reaches the wire.
+type bufferingWriter struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func (b *bufferingWriter) Header() http.Header { return b.header }
+
+func (b *bufferingWriter) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferingWriter) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func (b *bufferingWriter) status() int {
+	if b.code == 0 {
+		return http.StatusOK
+	}
+	return b.code
+}

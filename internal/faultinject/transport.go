@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is a fault-injecting [http.RoundTripper]. Wrap a client's
+// transport with one to subject every outgoing request to the Plan:
+//
+//	httpc := &http.Client{Transport: &faultinject.Transport{Plan: plan}}
+//
+// Requests are numbered in the order RoundTrip is entered; with a
+// deterministic Plan and a sequential caller the injected fault pattern
+// is fully reproducible from the seed.
+//
+// Drop, Error, and Hang are injected without forwarding, so the server
+// never observes the request; Corrupt and Truncate forward and mangle
+// only the received response body. Injected faults therefore never
+// mutate server state (see the package comment).
+type Transport struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan decides per-request faults; nil injects nothing.
+	Plan Plan
+	// Sleep implements Delay faults; nil means a context-aware
+	// real-time sleep. Injectable for fast tests.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	seq    atomic.Uint64
+	counts [numKinds]atomic.Uint64
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base == nil {
+		return http.DefaultTransport
+	}
+	return t.Base
+}
+
+func (t *Transport) sleep(ctx context.Context, d time.Duration) error {
+	if t.Sleep != nil {
+		return t.Sleep(ctx, d)
+	}
+	return sleep(ctx, d)
+}
+
+// Requests returns the number of round trips attempted so far.
+func (t *Transport) Requests() uint64 { return t.seq.Load() }
+
+// Counts returns the number of injected faults by kind (None counts the
+// untouched requests).
+func (t *Transport) Counts() map[Kind]uint64 {
+	m := make(map[Kind]uint64, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		if n := t.counts[k].Load(); n > 0 {
+			m[k] = n
+		}
+	}
+	return m
+}
+
+// Injected returns the total number of non-None faults injected.
+func (t *Transport) Injected() uint64 {
+	var n uint64
+	for k := None + 1; k < numKinds; k++ {
+		n += t.counts[k].Load()
+	}
+	return n
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	seq := t.seq.Add(1) - 1
+	var f Fault
+	if t.Plan != nil {
+		f = t.Plan.Decide(seq)
+	}
+	t.counts[f.Kind].Add(1)
+	switch f.Kind {
+	case Drop:
+		return nil, &FaultError{Kind: Drop, Seq: seq}
+	case Hang:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("faultinject: hang request %d: %w", seq, req.Context().Err())
+	case Error:
+		return syntheticResponse(req, f.status()), nil
+	case Delay:
+		if err := t.sleep(req.Context(), f.latency()); err != nil {
+			return nil, fmt.Errorf("faultinject: delay request %d: %w", seq, err)
+		}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case Corrupt, Truncate:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("faultinject: rewrite response %d: %w", seq, rerr)
+		}
+		if f.Kind == Corrupt {
+			mangle(body, seq)
+		} else {
+			body = truncate(body)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}
+
+// syntheticResponse fabricates a plain-text error response without
+// touching the network.
+func syntheticResponse(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("faultinject: injected %d\n", status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,92 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+func sigs(vals ...float64) []Signal {
+	out := make([]Signal, len(vals))
+	for i, v := range vals {
+		out[i] = Signal{RSSdBm: v, CFTdB: v, AFTdB: v}
+	}
+	return out
+}
+
+// constSigs returns n identical signals.
+func constSigs(n int, v float64) []Signal {
+	out := make([]Signal, n)
+	for i := range out {
+		out[i] = Signal{RSSdBm: v, CFTdB: v, AFTdB: v}
+	}
+	return out
+}
+
+// TestScoreANOVADegenerate pins the feature-selection math on the inputs
+// a real campaign can produce before enough data exists: a missing
+// class, single observations, and constant columns (e.g. a sensor whose
+// CFT rails at the noise floor). The scores must stay well-defined —
+// NaN for "not computable", +Inf/0 for zero within-class variance —
+// rather than panicking or returning garbage finite values.
+func TestScoreANOVADegenerate(t *testing.T) {
+	tests := []struct {
+		name          string
+		safe, notSafe []Signal
+		wantF         func(f float64) bool
+		wantP         func(p float64) bool
+	}{
+		{
+			// One class only: F is undefined (k < 2).
+			name: "single class", safe: sigs(1, 2, 3), notSafe: nil,
+			wantF: math.IsNaN, wantP: math.IsNaN,
+		},
+		{
+			name: "both classes empty", safe: nil, notSafe: nil,
+			wantF: math.IsNaN, wantP: math.IsNaN,
+		},
+		{
+			// One observation per class: no residual degrees of freedom
+			// (n <= k).
+			name: "single observation per class", safe: sigs(1), notSafe: sigs(2),
+			wantF: math.IsNaN, wantP: math.IsNaN,
+		},
+		{
+			// Zero within-class variance with separated means: perfect
+			// discriminability, reported as F=+Inf with p=0.
+			name: "constant separated columns", safe: constSigs(5, -90), notSafe: constSigs(5, -60),
+			wantF: func(f float64) bool { return math.IsInf(f, 1) },
+			wantP: func(p float64) bool { return p == 0 },
+		},
+		{
+			// A column that is the same constant in both classes also has
+			// zero within-class variance; the implementation reports it
+			// the same way rather than 0/0.
+			name: "constant identical columns", safe: constSigs(4, -75), notSafe: constSigs(6, -75),
+			wantF: func(f float64) bool { return math.IsInf(f, 1) },
+			wantP: func(p float64) bool { return p == 0 },
+		},
+		{
+			// Sanity: well-separated noisy classes give a large finite F
+			// and a tiny p.
+			name: "separated with variance", safe: sigs(-90, -91, -89, -90.5), notSafe: sigs(-60, -61, -59, -60.5),
+			wantF: func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) && f > 100 },
+			wantP: func(p float64) bool { return p >= 0 && p < 0.001 },
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			scores := ScoreANOVA(tt.safe, tt.notSafe)
+			if len(scores) != 3 {
+				t.Fatalf("got %d scores, want 3 (RSS, CFT, AFT)", len(scores))
+			}
+			for _, s := range scores {
+				if !tt.wantF(s.F) {
+					t.Errorf("%s: F = %v fails predicate", s.Name, s.F)
+				}
+				if !tt.wantP(s.PValue) {
+					t.Errorf("%s: p = %v fails predicate", s.Name, s.PValue)
+				}
+			}
+		})
+	}
+}

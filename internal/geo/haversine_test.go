@@ -1,0 +1,74 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// meterPerDegree is the great-circle length of one degree of arc on the
+// mean-radius sphere: 2πR/360.
+const meterPerDegree = 2 * math.Pi * EarthRadiusM / 360
+
+// TestDistanceEdgeCases pins the haversine implementation on the inputs
+// that break naive spherical-law-of-cosines code: the antimeridian seam,
+// the poles, antipodes, and coincident points. Labeling correctness
+// (FCC Algorithm 1) rides on these distances, so they get exact-ish
+// expectations rather than smoke checks.
+func TestDistanceEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64 // meters
+		tol  float64 // absolute tolerance in meters
+	}{
+		{"zero distance", Point{33.749, -84.388}, Point{33.749, -84.388}, 0, 0},
+		{"zero distance at pole", Point{90, 0}, Point{90, 0}, 0, 0},
+		// Both poles are single points: longitude must be irrelevant.
+		{"north pole any longitude", Point{90, 0}, Point{90, 137}, 0, 1e-6},
+		{"south pole any longitude", Point{-90, -45}, Point{-90, 170}, 0, 1e-6},
+		// Crossing the ±180° seam: one degree of longitude at the
+		// equator, not the 359-degree long way around.
+		{"antimeridian equator", Point{0, 179.5}, Point{0, -179.5}, meterPerDegree, 1},
+		{"antimeridian midlat", Point{60, 179.5}, Point{60, -179.5},
+			2 * EarthRadiusM * math.Asin(math.Cos(60*math.Pi/180)*math.Sin(0.5*math.Pi/180)), 1},
+		// Meridian arcs have closed-form lengths on a sphere.
+		{"equator one degree", Point{0, 10}, Point{0, 11}, meterPerDegree, 1},
+		{"meridian one degree", Point{10, 25}, Point{11, 25}, meterPerDegree, 1},
+		{"pole to pole", Point{90, 0}, Point{-90, 0}, math.Pi * EarthRadiusM, 1},
+		{"pole to equator", Point{90, 42}, Point{0, -13}, math.Pi * EarthRadiusM / 2, 1},
+		// Antipodes: the h>1 clamp keeps Asin in domain.
+		{"antipodal equator", Point{0, 90}, Point{0, -90}, math.Pi * EarthRadiusM, 1},
+		{"antipodal general", Point{33.749, -84.388}, Point{-33.749, 95.612}, math.Pi * EarthRadiusM, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.p.DistanceM(tt.q)
+			if math.IsNaN(got) {
+				t.Fatalf("DistanceM(%v, %v) = NaN", tt.p, tt.q)
+			}
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("DistanceM(%v, %v) = %.6f, want %.6f ± %g", tt.p, tt.q, got, tt.want, tt.tol)
+			}
+			// Great-circle distance is symmetric.
+			if back := tt.q.DistanceM(tt.p); back != got {
+				t.Errorf("asymmetric: %.9f forward vs %.9f back", got, back)
+			}
+		})
+	}
+}
+
+// TestOffsetAcrossAntimeridian: Offset must normalize longitudes back
+// into [-180, 180) and stay consistent with DistanceM.
+func TestOffsetAcrossAntimeridian(t *testing.T) {
+	p := Point{10, 179.9}
+	q := p.Offset(90, 50000) // eastward across the seam
+	if !q.Valid() {
+		t.Fatalf("offset produced invalid point %v", q)
+	}
+	if q.Lon > -179 {
+		t.Errorf("longitude not wrapped: %v", q)
+	}
+	if d := p.DistanceM(q); math.Abs(d-50000) > 1 {
+		t.Errorf("round-trip distance = %.3f, want 50000", d)
+	}
+}
