@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry loadgen chaos clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal crash-test loadgen chaos clean
 
 check: vet build race
 
@@ -44,6 +44,28 @@ bench:
 # observe).
 bench-telemetry:
 	$(GO) test -bench . -benchmem -run XXX ./internal/telemetry/
+
+# Durability suite for the WAL PR: group-commit append cost, the full
+# durable round trip, recovery replay speed, and the upload path with and
+# without a WAL (the acceptance criterion: durable within ~10% of
+# in-memory). Fixed iteration counts keep the memory/WAL comparison fair —
+# per-op cost grows with store size, so time-based -benchtime would hand
+# the two variants different workloads. Results land in BENCH_5.json with
+# the raw text in BENCH_5.txt.
+WAL_BENCH_PATTERN ?= BenchmarkAppendGroupCommit|BenchmarkAppendDurable|BenchmarkReplay
+UPLOAD_BENCH_PATTERN ?= BenchmarkUploadPath
+
+bench-wal:
+	$(GO) test -bench '$(WAL_BENCH_PATTERN)' -benchmem -run XXX ./internal/wal/ | tee BENCH_5.txt
+	$(GO) test -bench '$(UPLOAD_BENCH_PATTERN)' -benchmem -benchtime 30000x -run XXX ./internal/dbserver/ | tee -a BENCH_5.txt
+	$(GO) run ./cmd/waldo-benchjson < BENCH_5.txt > BENCH_5.json
+
+# The crash-recovery acceptance test under the race detector: a server
+# killed mid-campaign (clean kill and torn-tail variants, plus a run under
+# client-side network chaos) must recover from disk to byte-identical
+# decisions, store exports, and model versions.
+crash-test:
+	$(GO) test -race ./internal/e2e/ -run 'TestCrashRecovery|TestRunCrashValidation' -count 1 -v
 
 # End-to-end performance harness against an in-process spectrum database.
 loadgen:

@@ -21,12 +21,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/wsdetect/waldo/internal/core"
@@ -45,15 +49,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("waldo-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8473", "listen address")
-	data := fs.String("data", "", "bootstrap readings CSV (required)")
+	data := fs.String("data", "", "bootstrap readings CSV (required unless -data-dir has recovered state)")
 	clusterK := fs.Int("clusters", 3, "localities per model")
 	classifier := fs.String("classifier", "svm", "per-locality classifier: svm|nb|svm-linear")
 	alphaPrime := fs.Float64("alpha-prime", 1.0, "upload acceptance CI span (dB)")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory only")
+	snapshotEvery := fs.Int("snapshot-every", 10000, "compact a store's WAL into a snapshot after this many journaled readings (0 = only via /v1/admin/snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" {
-		return fmt.Errorf("-data is required (generate one with waldo-wardrive)")
+	if *data == "" && *dataDir == "" {
+		return fmt.Errorf("-data is required (generate one with waldo-wardrive) unless -data-dir is set")
 	}
 
 	var kind core.ClassifierKind
@@ -68,41 +74,67 @@ func run(args []string) error {
 		return fmt.Errorf("unknown classifier %q", *classifier)
 	}
 
-	f, err := os.Open(*data)
-	if err != nil {
-		return err
-	}
 	var readings []dataset.Reading
-	if strings.HasSuffix(*data, ".gob") {
-		readings, err = dataset.ReadGob(f)
-	} else {
-		readings, err = dataset.ReadCSV(f)
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*data, ".gob") {
+			readings, err = dataset.ReadGob(f)
+		} else {
+			readings, err = dataset.ReadCSV(f)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *data, err)
+		}
+		log.Printf("loaded %d readings from %s", len(readings), *data)
 	}
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("load %s: %w", *data, err)
-	}
-	log.Printf("loaded %d readings from %s", len(readings), *data)
 
-	srv := dbserver.New(dbserver.Config{
+	srv, err := dbserver.Open(dbserver.Config{
 		Constructor: core.ConstructorConfig{
 			ClusterK:   *clusterK,
 			Classifier: kind,
 			Features:   features.SetLocationRSSCFT,
 		},
-		AlphaPrimeDB: *alphaPrime,
+		AlphaPrimeDB:  *alphaPrime,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapshotEvery,
 	})
-	start := time.Now()
-	if err := srv.Bootstrap(readings); err != nil {
-		return fmt.Errorf("bootstrap: %w", err)
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
 	}
-	log.Printf("trained models in %.1fs; serving on %s (metrics at /metrics, readiness at /healthz)",
-		time.Since(start).Seconds(), *addr)
+	defer srv.Close()
+	if len(readings) > 0 {
+		start := time.Now()
+		if err := srv.Bootstrap(readings); err != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+		log.Printf("trained models in %.1fs", time.Since(start).Seconds())
+	}
+	log.Printf("serving on %s (metrics at /metrics, readiness at /healthz)", *addr)
 
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return server.ListenAndServe()
+	// On SIGINT/SIGTERM: stop accepting requests, then flush and close
+	// the WAL so no acknowledged upload is lost to a clean shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return srv.Close()
+	}
 }

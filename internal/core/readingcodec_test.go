@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+func codecReading(seq int) dataset.Reading {
+	return dataset.Reading{
+		Seq:     seq,
+		Loc:     geo.Point{Lat: 40.5 + float64(seq)*1e-3, Lon: -74.2},
+		Channel: rfenv.Channel(30),
+		Sensor:  sensor.KindUSRPB200,
+		Signal:  features.Signal{RSSdBm: -101.25, CFTdB: 4.5, AFTdB: 0.125},
+		AltM:    12.5,
+		TrueDBm: -99.75,
+	}
+}
+
+func TestReadingWireRoundTrip(t *testing.T) {
+	r := codecReading(42)
+	buf := AppendReadingWire(nil, &r)
+	if len(buf) != ReadingWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), ReadingWireSize)
+	}
+	got, err := DecodeReadingWire(buf)
+	if err != nil {
+		t.Fatalf("DecodeReadingWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestReadingsWireRoundTrip(t *testing.T) {
+	rs := []dataset.Reading{codecReading(1), codecReading(2), codecReading(3)}
+	buf := AppendReadingsWire(nil, rs)
+	buf = append(buf, 0xAA, 0xBB) // trailing bytes belong to the caller
+	got, rest, err := DecodeReadingsWire(buf)
+	if err != nil {
+		t.Fatalf("DecodeReadingsWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Error("batch round trip mismatch")
+	}
+	if len(rest) != 2 || rest[0] != 0xAA {
+		t.Errorf("remainder = %x, want aabb", rest)
+	}
+}
+
+func TestDecodeReadingWireRejectsInvalid(t *testing.T) {
+	r := codecReading(1)
+	buf := AppendReadingWire(nil, &r)
+
+	if _, err := DecodeReadingWire(buf[:ReadingWireSize-1]); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[24] = 0xFF // channel 0xFFxx: outside the TV band
+	bad[25] = 0xFF
+	if _, err := DecodeReadingWire(bad); err == nil {
+		t.Error("invalid channel accepted")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[26] = 0xEE // unknown sensor kind
+	if _, err := DecodeReadingWire(bad); err == nil {
+		t.Error("invalid sensor accepted")
+	}
+}
+
+func TestDecodeReadingsWireRejectsShortBatch(t *testing.T) {
+	rs := []dataset.Reading{codecReading(1), codecReading(2)}
+	buf := AppendReadingsWire(nil, rs)
+	if _, _, err := DecodeReadingsWire(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if _, _, err := DecodeReadingsWire(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}

@@ -48,6 +48,12 @@ type Updater struct {
 	readings []dataset.Reading
 	model    *Model
 	version  int
+	// trainedCount is the number of store readings the current model was
+	// trained on (the snapshot length of the Retrain that produced it).
+	trainedCount int
+	// journal, when set, receives every store mutation under mu (see
+	// Journal).
+	journal Journal
 	// inflight is the single-flight latch: non-nil while a rebuild is
 	// running outside the lock.
 	inflight *retrainCall
@@ -69,6 +75,22 @@ type retrainCall struct {
 	done  chan struct{}
 	model *Model
 	err   error
+}
+
+// Journal receives every durable store mutation, in exactly the order it
+// was applied to the in-memory store: both methods are invoked while the
+// updater's lock is held, so a write-ahead log fed by a Journal replays
+// to a byte-identical store. Implementations must be fast — enqueue the
+// mutation and return; flushing happens off this path (internal/wal's
+// group commit).
+type Journal interface {
+	// AppendReadings records readings accepted into the trusted store
+	// (Bootstrap seeds and accepted Submit batches).
+	AppendReadings(rs []dataset.Reading)
+	// RecordRetrain records a completed rebuild: the new model version
+	// and the number of store readings (a stable prefix) it was trained
+	// on.
+	RecordRetrain(version, trainedCount int)
 }
 
 // UpdaterConfig assembles an Updater.
@@ -132,6 +154,15 @@ func NewUpdater(cfg UpdaterConfig) (*Updater, error) {
 	return u, nil
 }
 
+// SetJournal wires a persistence journal into the updater. Every later
+// store mutation is reported to j in apply order. Call it right after
+// NewUpdater (or after Restore during recovery), before any traffic.
+func (u *Updater) SetJournal(j Journal) {
+	u.mu.Lock()
+	u.journal = j
+	u.mu.Unlock()
+}
+
 // Bootstrap seeds the store with trusted measurements (war driving or
 // dedicated infrastructure, §6) without the α′ check.
 func (u *Updater) Bootstrap(readings []dataset.Reading) {
@@ -139,6 +170,9 @@ func (u *Updater) Bootstrap(readings []dataset.Reading) {
 	defer u.mu.Unlock()
 	u.readings = append(u.readings, readings...)
 	u.storeReadings.Set(float64(len(u.readings)))
+	if u.journal != nil && len(readings) > 0 {
+		u.journal.AppendReadings(readings)
+	}
 }
 
 // Submit offers a WSD upload. Batches that fail the α′ noise criterion are
@@ -179,6 +213,9 @@ func (u *Updater) Submit(batch UploadBatch) error {
 	u.readings = append(u.readings, batch.Readings...)
 	u.acceptedTotal.Inc()
 	u.storeReadings.Set(float64(len(u.readings)))
+	if u.journal != nil {
+		u.journal.AppendReadings(batch.Readings)
+	}
 	return nil
 }
 
@@ -231,6 +268,10 @@ func (u *Updater) Retrain() (*Model, error) {
 	if err == nil {
 		u.model = model
 		u.version++
+		u.trainedCount = len(snap)
+		if u.journal != nil {
+			u.journal.RecordRetrain(u.version, len(snap))
+		}
 	}
 	u.mu.Unlock()
 	call.model, call.err = model, err
@@ -267,4 +308,63 @@ func (u *Updater) Model() (*Model, int) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	return u.model, u.version
+}
+
+// TrainedCount returns the number of store readings the current model was
+// trained on (0 before the first Retrain).
+func (u *Updater) TrainedCount() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.trainedCount
+}
+
+// Restore rehydrates an updater from persisted state: the full trusted
+// store, the version of the last trained model, and the store prefix
+// length it was trained on. The model is rebuilt from that prefix — model
+// construction is deterministic for a fixed constructor config and input
+// (DESIGN.md §8), so the restored model is byte-identical to the one that
+// was serving when the state was persisted. Call on a fresh updater
+// before SetJournal, so recovery itself is not re-journaled.
+func (u *Updater) Restore(readings []dataset.Reading, version, trainedCount int) error {
+	if trainedCount < 0 || trainedCount > len(readings) {
+		return fmt.Errorf("core: restore: trained count %d outside store of %d readings",
+			trainedCount, len(readings))
+	}
+	if version < 0 || (version == 0) != (trainedCount == 0) {
+		return fmt.Errorf("core: restore: inconsistent version %d for trained count %d",
+			version, trainedCount)
+	}
+	var model *Model
+	if trainedCount > 0 {
+		var err error
+		if model, err = u.rebuild(readings[:trainedCount]); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.readings) != 0 || u.version != 0 {
+		return fmt.Errorf("core: restore into a non-empty updater (%d readings, version %d)",
+			len(u.readings), u.version)
+	}
+	u.readings = append([]dataset.Reading(nil), readings...)
+	u.model = model
+	u.version = version
+	u.trainedCount = trainedCount
+	u.storeReadings.Set(float64(len(u.readings)))
+	return nil
+}
+
+// Checkpoint calls fn with a consistent view of the store — the readings
+// (a stable append-only prefix; fn must not mutate it), the model
+// version, and the trained prefix length — while the store lock is held.
+// Because the Journal hooks run under the same lock, everything fn sees
+// is exactly the journal stream so far: internal/wal rotates its log
+// segment inside fn, making the snapshot/log cut exact. Keep fn short
+// (Submit and Model block for its duration); do slow I/O on the captured
+// state after Checkpoint returns.
+func (u *Updater) Checkpoint(fn func(readings []dataset.Reading, version, trainedCount int)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	fn(u.readings[:len(u.readings):len(u.readings)], u.version, u.trainedCount)
 }

@@ -35,6 +35,10 @@
 //	GET  /v1/export?channel=C&sensor=K         trusted store as CSV
 //	GET  /v1/stats                             JSON array of per-store stats
 //	                                           (readings, model version/bytes)
+//	POST /v1/admin/snapshot[?channel=C&sensor=K]
+//	                                           trigger WAL snapshot compaction
+//	                                           of one store (or all); 503 when
+//	                                           the server has no data dir
 //
 // channel is a TV-band channel number, sensor a sensor.Kind integer.
 // Errors are plain-text with conventional status codes: 400 for malformed
@@ -53,6 +57,16 @@
 // queueing without bound, counted in waldo_dbserver_shed_total. The
 // health and metrics probes are exempt from shedding so operators can
 // still see an overloaded server.
+//
+// # Durability
+//
+// With Config.DataDir set (construct via [Open]), every store journals
+// accepted readings and retrain markers to a per-store write-ahead log
+// (internal/wal) and periodically compacts it into a snapshot. Open
+// recovers all persisted stores before serving; because model rebuilds
+// are deterministic, the recovered server serves byte-identical model
+// descriptors at the same versions as before the crash. See DESIGN.md
+// §10 and OPERATIONS.md.
 package dbserver
 
 import (
@@ -74,6 +88,7 @@ import (
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wal"
 )
 
 // Server is the central spectrum database.
@@ -84,8 +99,12 @@ type Server struct {
 	// is the updater's own concern (core.Updater is concurrency-safe).
 	mu       sync.RWMutex
 	updaters map[storeKey]*core.Updater
-	cfg      Config
-	metrics  *telemetry.Registry
+	// keys mirrors the updaters map as a sorted slice, maintained at
+	// insertion so stats/health snapshots don't re-sort on every call.
+	keys    []storeKey
+	wals    map[storeKey]*walState
+	cfg     Config
+	metrics *telemetry.Registry
 
 	// blobMu guards the encoded-descriptor cache. Entries are keyed by
 	// store and stamped with the model version they encode, so a
@@ -146,6 +165,25 @@ type Config struct {
 	MaxInFlight int
 	// RetryAfter is the hint advertised on shed responses; 0 means 1 s.
 	RetryAfter time.Duration
+	// DataDir, when set, makes every store durable: accepted readings and
+	// retrain markers are journaled to a per-store write-ahead log under
+	// this directory, compacted into snapshots, and recovered on Open.
+	// Empty means in-memory only (New's historical behavior).
+	DataDir string
+	// SnapshotEvery, when positive, triggers a background snapshot
+	// compaction of a store once that many readings have been journaled
+	// since its last snapshot. 0 means compaction only happens on demand
+	// via POST /v1/admin/snapshot.
+	SnapshotEvery int
+	// WALFS overrides the filesystem the WAL persists through; nil means
+	// the real one. The fault-injection layer hooks in here.
+	WALFS wal.FS
+	// WALFlushInterval is the WAL's group-commit coalescing window: how
+	// long an appended record may sit in memory before the flusher forces
+	// a write+fsync. 0 means the wal package default. Larger values trade
+	// a wider loss window on power failure (never covering acknowledged
+	// snapshots or FlushWAL calls) for fewer fsyncs per second.
+	WALFlushInterval time.Duration
 }
 
 // New returns an empty database server.
@@ -156,6 +194,7 @@ func New(cfg Config) *Server {
 	const cacheHelp = "Model descriptor cache lookups by outcome (hit, miss, not_modified)."
 	return &Server{
 		updaters:    make(map[storeKey]*core.Updater),
+		wals:        make(map[storeKey]*walState),
 		cfg:         cfg,
 		metrics:     cfg.Metrics,
 		blobs:       make(map[storeKey]*modelBlob),
@@ -202,8 +241,33 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.DataDir != "" {
+		// Recovery (snapshot load + WAL replay + model rebuild) happens
+		// here, before the updater becomes visible: no request ever sees
+		// a partially recovered store.
+		if err := s.openStore(key, u); err != nil {
+			return nil, err
+		}
+	}
 	s.updaters[key] = u
+	s.insertKeyLocked(key)
 	return u, nil
+}
+
+// insertKeyLocked adds key to the maintained sorted slice. Called with
+// s.mu write-held; sorting once at creation keeps every snapshot call
+// (stats, health) a plain copy.
+func (s *Server) insertKeyLocked(key storeKey) {
+	i := sort.Search(len(s.keys), func(i int) bool {
+		k := s.keys[i]
+		if k.ch != key.ch {
+			return k.ch > key.ch
+		}
+		return k.kind >= key.kind
+	})
+	s.keys = append(s.keys, storeKey{})
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
 }
 
 // Bootstrap seeds the database with trusted campaign readings and trains
@@ -252,6 +316,7 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/retrain", "/v1/retrain", s.handleRetrain)
 	route("GET /v1/export", "/v1/export", s.handleExport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
+	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", s.handleAdminSnapshot)
 	mux.Handle("GET /metrics", m.Handler())
 	return mux
 }
@@ -521,6 +586,7 @@ func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	s.maybeSnapshot(storeKey{batch.Readings[0].Channel, batch.Readings[0].Sensor})
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -600,22 +666,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// storeSnapshot returns the current stores in deterministic order.
+// storeSnapshot returns the current stores in deterministic (channel,
+// sensor) order. The keys slice is kept sorted at insertion, so this is
+// a copy, not a sort.
 func (s *Server) storeSnapshot() ([]storeKey, map[storeKey]*core.Updater) {
 	s.mu.RLock()
-	keys := make([]storeKey, 0, len(s.updaters))
+	keys := append([]storeKey(nil), s.keys...)
 	byKey := make(map[storeKey]*core.Updater, len(s.updaters))
 	for k, u := range s.updaters {
-		keys = append(keys, k)
 		byKey[k] = u
 	}
 	s.mu.RUnlock()
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].ch != keys[j].ch {
-			return keys[i].ch < keys[j].ch
-		}
-		return keys[i].kind < keys[j].kind
-	})
 	return keys, byKey
 }
 

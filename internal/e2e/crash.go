@@ -1,0 +1,145 @@
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CrashConfig shapes a RunCrash scenario.
+type CrashConfig struct {
+	// DataDir is the durable store directory shared by both server
+	// incarnations (required).
+	DataDir string
+	// AfterCycle is the duty cycle count the first incarnation completes
+	// before it is killed; the survivor runs the rest. Must be in
+	// [1, Cycles-1] to exercise both sides of the crash.
+	AfterCycle int
+	// TornTail, when set, appends a partial record frame to every
+	// store's newest WAL segment after the kill — the disk image of an
+	// append that was in flight (and never acknowledged) when the
+	// process died. Recovery must truncate it away.
+	TornTail bool
+}
+
+// RunCrash executes a harness run with a mid-campaign server crash: the
+// first server incarnation bootstraps the database on a durable data
+// dir, serves AfterCycle duty cycles, and is killed without any clean
+// shutdown (its WAL is flushed first — the durability point; everything
+// past it was never acknowledged). A second incarnation recovers from
+// disk alone and serves the remaining cycles plus the epilogue.
+//
+// The returned Result is byte-comparable with Run(cfg) on the same
+// Config: recovery rebuilds the store in original order and the model at
+// the persisted version, and model rebuilds are deterministic, so the
+// decision log, store CSVs, and served versions must all be identical to
+// the uninterrupted run. The crash-recovery e2e test asserts exactly
+// that.
+func RunCrash(cfg Config, crash CrashConfig) (*Result, error) {
+	cfg.defaults()
+	if crash.DataDir == "" {
+		return nil, fmt.Errorf("e2e: RunCrash needs a data dir")
+	}
+	if crash.AfterCycle < 1 || crash.AfterCycle >= cfg.Cycles {
+		return nil, fmt.Errorf("e2e: crash after cycle %d outside (0, %d)", crash.AfterCycle, cfg.Cycles)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxWall)
+	defer cancel()
+
+	env, bootstrap, err := buildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var log strings.Builder
+	res := &Result{}
+
+	// --- Incarnation A: bootstrap, serve the first cycles, die. ---
+	sessA, err := newSession(cfg, env, &log, crash.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := sessA.srv.Bootstrap(bootstrap); err != nil {
+		sessA.ts.Close()
+		return nil, err
+	}
+	if err := sessA.runCycles(ctx, 0, crash.AfterCycle); err != nil {
+		sessA.ts.Close()
+		return nil, err
+	}
+	// The durability point: everything acknowledged so far reaches disk.
+	// Past here the process is gone — no Close, no snapshot, the data
+	// dir stays exactly as the crash left it.
+	if err := sessA.srv.FlushWAL(); err != nil {
+		sessA.ts.Close()
+		return nil, err
+	}
+	sessA.ts.Close()
+	sessA.addCounters(res)
+
+	if crash.TornTail {
+		if err := tearSegmentTails(crash.DataDir); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Incarnation B: recover from disk, finish the run. ---
+	sessB, err := newSession(cfg, env, &log, crash.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("e2e: recovery: %w", err)
+	}
+	defer sessB.ts.Close()
+	if err := sessB.runCycles(ctx, crash.AfterCycle, cfg.Cycles); err != nil {
+		return nil, err
+	}
+	versions, err := sessB.epilogue(ctx)
+	if err != nil {
+		return nil, err
+	}
+	stores, err := sessB.exportStores()
+	if err != nil {
+		return nil, err
+	}
+	sessB.addCounters(res)
+	res.DecisionLog = []byte(log.String())
+	res.StoreCSV = stores
+	res.ModelVersion = versions
+	return res, nil
+}
+
+// tearSegmentTails appends a short garbage fragment — less than a full
+// record header — to the newest WAL segment of every store under
+// dataDir, simulating an append torn mid-write by the crash.
+func tearSegmentTails(dataDir string) error {
+	stores, err := os.ReadDir(dataDir)
+	if err != nil {
+		return err
+	}
+	for _, st := range stores {
+		if !st.IsDir() {
+			continue
+		}
+		dir := filepath.Join(dataDir, st.Name())
+		segs, err := filepath.Glob(filepath.Join(dir, "wal.*.log"))
+		if err != nil {
+			return err
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		// Glob sorts lexically and epochs are zero-padded: last is newest.
+		f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,6 +21,14 @@
 //   - the model is only retrained at the end of the run, after faults
 //     have cleared, so stale-served descriptors are bit-equal to fresh
 //     ones.
+//
+// [RunCrash] extends the same byte-identity claim to durability: it
+// kills the server mid-campaign (optionally leaving a torn record at
+// the tail of every WAL segment), restarts it from the data dir alone,
+// and finishes the run — the decision log, store exports, and served
+// model versions must still match the uninterrupted [Run]. That works
+// because recovery (internal/wal) rebuilds each store in original
+// append order and model rebuilds are deterministic.
 package e2e
 
 import (
@@ -164,22 +172,18 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Run executes one harness run.
-func Run(cfg Config) (*Result, error) {
-	cfg.defaults()
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxWall)
-	defer cancel()
-
-	// --- World: environment, campaign, trained database. ---
+// buildWorld constructs the simulated world shared by every harness
+// phase: the RF environment and the bootstrap campaign readings.
+func buildWorld(cfg Config) (*rfenv.Environment, []dataset.Reading, error) {
 	env, err := rfenv.BuildMetro(uint64(cfg.Seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
 		Area: env.Area, Samples: cfg.Samples, Seed: cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	camp, err := wardrive.Run(wardrive.CampaignConfig{
 		Env: env, Route: route,
@@ -188,24 +192,51 @@ func Run(cfg Config) (*Result, error) {
 		Seed:     cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var all []dataset.Reading
+	for _, ch := range cfg.Channels {
+		all = append(all, camp.Readings(ch, sensor.KindRTLSDR)...)
+	}
+	return env, all, nil
+}
+
+// session is one server+client incarnation within a harness run. A plain
+// run uses a single session; a crash run uses two over the same data
+// dir, writing into one shared decision log.
+type session struct {
+	cfg       Config
+	env       *rfenv.Environment
+	srv       *dbserver.Server
+	ts        *httptest.Server
+	cl        *client.Client
+	clientReg *telemetry.Registry
+	serverReg *telemetry.Registry
+	clientTR  *faultinject.Transport
+	serverMW  *faultinject.Middleware
+
+	log             *strings.Builder
+	cached          map[rfenv.Channel]bool
+	uploaded        int
+	errsWhileCached uint64
+}
+
+// newSession builds the server (durable when dataDir is set — recovering
+// whatever the directory holds), wires the faulted HTTP path, and
+// connects a fresh client. The client starts cold: a post-crash session
+// re-downloads models exactly like a rebooted WSD fleet.
+func newSession(cfg Config, env *rfenv.Environment, log *strings.Builder, dataDir string) (*session, error) {
 	serverReg := telemetry.New()
 	srvCfg := cfg.Server
 	srvCfg.Constructor = core.ConstructorConfig{Classifier: core.KindNB, Seed: cfg.Seed}
 	srvCfg.AlphaPrimeDB = cfg.AlphaPrimeDB
 	srvCfg.Metrics = serverReg
-	srv := dbserver.New(srvCfg)
-	var all []dataset.Reading
-	for _, ch := range cfg.Channels {
-		all = append(all, camp.Readings(ch, sensor.KindRTLSDR)...)
-	}
-	if err := srv.Bootstrap(all); err != nil {
+	srvCfg.DataDir = dataDir
+	srv, err := dbserver.Open(srvCfg)
+	if err != nil {
 		return nil, err
 	}
 
-	// --- Wire: handler behind server faults, client behind transport
-	// faults. ---
 	handler := srv.Handler()
 	var serverMW *faultinject.Middleware
 	if cfg.ServerPlan != nil {
@@ -213,7 +244,6 @@ func Run(cfg Config) (*Result, error) {
 		handler = serverMW.Wrap(handler)
 	}
 	ts := httptest.NewServer(handler)
-	defer ts.Close()
 	var clientTR *faultinject.Transport
 	ccfg := cfg.Client
 	if cfg.ClientPlan != nil {
@@ -223,101 +253,160 @@ func Run(cfg Config) (*Result, error) {
 	clientReg := telemetry.New()
 	cl, err := client.NewWithConfig(ts.URL, ccfg)
 	if err != nil {
+		ts.Close()
 		return nil, err
 	}
 	cl.SetMetrics(clientReg)
+	return &session{
+		cfg: cfg, env: env, srv: srv, ts: ts, cl: cl,
+		clientReg: clientReg, serverReg: serverReg,
+		clientTR: clientTR, serverMW: serverMW,
+		log:    log,
+		cached: make(map[rfenv.Channel]bool, len(cfg.Channels)),
+	}, nil
+}
 
-	// --- Duty cycles: refresh → scan → upload. ---
-	var log strings.Builder
-	uploaded := 0
-	cached := make(map[rfenv.Channel]bool, len(cfg.Channels))
-	var errsWhileCached uint64
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		for _, ch := range cfg.Channels {
-			model, err := refreshUntil(ctx, cl, ch, cached, &errsWhileCached)
+// runCycles drives duty cycles [from, to): refresh → scan → upload.
+func (s *session) runCycles(ctx context.Context, from, to int) error {
+	for cycle := from; cycle < to; cycle++ {
+		for _, ch := range s.cfg.Channels {
+			model, err := refreshUntil(ctx, s.cl, ch, s.cached, &s.errsWhileCached)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			dec, err := scan(cfg, env, model, cycle, ch)
+			dec, err := scan(s.cfg, s.env, model, cycle, ch)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			fmt.Fprintf(&log, "cycle=%d channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
+			fmt.Fprintf(s.log, "cycle=%d channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
 				cycle, int(ch), dec.Label, dec.Converged, dec.ReadingsUsed,
 				dec.CISpanDB, dec.Signal.RSSdBm, dec.Signal.CFTdB, dec.Signal.AFTdB)
-			if !dec.Converged || dec.CISpanDB > cfg.AlphaPrimeDB {
+			if !dec.Converged || dec.CISpanDB > s.cfg.AlphaPrimeDB {
 				continue
 			}
-			batch := uploadBatch(cfg, dec, cycle, ch)
+			batch := uploadBatch(s.cfg, dec, cycle, ch)
 			if err := untilOK(ctx, fmt.Sprintf("upload cycle %d ch %d", cycle, ch), func() error {
-				return cl.UploadCtx(ctx, batch)
+				return s.cl.UploadCtx(ctx, batch)
 			}); err != nil {
-				return nil, err
+				return err
 			}
-			uploaded++
+			s.uploaded++
 		}
 	}
+	return nil
+}
 
-	// --- Epilogue: retrain on the grown store and take the final
-	// decisions the tests compare byte-for-byte. A fault schedule may
-	// still be mid-window here; retrains retry until they land (they
-	// have exactly-once effect — a faulted request never reaches the
-	// handler), and the final refresh loops until the client serves the
-	// post-retrain version rather than a stale cache hit, so the final
-	// decisions always come from the same model bytes. ---
-	versions := make(map[rfenv.Channel]int, len(cfg.Channels))
-	for _, ch := range cfg.Channels {
+// epilogue retrains every channel on the grown store and takes the final
+// decisions the tests compare byte-for-byte. A fault schedule may still
+// be mid-window here; retrains retry until they land (they have
+// exactly-once effect — a faulted request never reaches the handler),
+// and the final refresh loops until the client serves the post-retrain
+// version rather than a stale cache hit, so the final decisions always
+// come from the same model bytes.
+func (s *session) epilogue(ctx context.Context) (map[rfenv.Channel]int, error) {
+	versions := make(map[rfenv.Channel]int, len(s.cfg.Channels))
+	for _, ch := range s.cfg.Channels {
 		if err := untilOK(ctx, "final retrain", func() error {
-			return cl.RequestRetrainCtx(ctx, ch, sensor.KindRTLSDR)
+			return s.cl.RequestRetrainCtx(ctx, ch, sensor.KindRTLSDR)
 		}); err != nil {
 			return nil, err
 		}
-		model, err := refreshFresh(ctx, cl, ch, srv.ModelVersion(ch, sensor.KindRTLSDR))
+		model, err := refreshFresh(ctx, s.cl, ch, s.srv.ModelVersion(ch, sensor.KindRTLSDR))
 		if err != nil {
 			return nil, err
 		}
-		dec, err := scan(cfg, env, model, cfg.Cycles, ch)
+		dec, err := scan(s.cfg, s.env, model, s.cfg.Cycles, ch)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(&log, "final channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
+		fmt.Fprintf(s.log, "final channel=%d label=%v converged=%t readings=%d ci=%.6f rss=%.6f cft=%.6f aft=%.6f\n",
 			int(ch), dec.Label, dec.Converged, dec.ReadingsUsed,
 			dec.CISpanDB, dec.Signal.RSSdBm, dec.Signal.CFTdB, dec.Signal.AFTdB)
-		versions[ch] = srv.ModelVersion(ch, sensor.KindRTLSDR)
-		fmt.Fprintf(&log, "final channel=%d model_version=%d store=%d\n",
-			int(ch), versions[ch], srv.StoreSize(ch, sensor.KindRTLSDR))
+		versions[ch] = s.srv.ModelVersion(ch, sensor.KindRTLSDR)
+		fmt.Fprintf(s.log, "final channel=%d model_version=%d store=%d\n",
+			int(ch), versions[ch], s.srv.StoreSize(ch, sensor.KindRTLSDR))
 	}
+	return versions, nil
+}
 
-	// --- Store export: out-of-band of the chaos wire (a corrupt fault
-	// on an export response would mangle the CSV without signaling an
-	// error, so store inspection must not cross the faulted path). ---
+// exportStores renders every store's CSV out-of-band of the chaos wire
+// (a corrupt fault on an export response would mangle the CSV without
+// signaling an error, so store inspection must not cross the faulted
+// path).
+func (s *session) exportStores() ([]byte, error) {
 	var stores []byte
-	for _, ch := range cfg.Channels {
-		csv, err := export(srv.Handler(), ch)
+	for _, ch := range s.cfg.Channels {
+		csv, err := export(s.srv.Handler(), ch)
 		if err != nil {
 			return nil, err
 		}
 		stores = append(stores, []byte(fmt.Sprintf("# store channel=%d\n", int(ch)))...)
 		stores = append(stores, csv...)
 	}
+	return stores, nil
+}
 
+// addCounters folds this session's resilience counters into res.
+func (s *session) addCounters(res *Result) {
+	res.Retries += s.clientReg.Counter("waldo_client_retries_total", "").Value()
+	res.StaleServed += s.clientReg.Counter("waldo_client_stale_served_total", "").Value()
+	res.Shed += s.serverReg.Counter("waldo_dbserver_shed_total", "").Value()
+	res.UploadsAccepted += uint64(s.uploaded)
+	res.RefreshErrorsWhileCached += s.errsWhileCached
+	if s.clientTR != nil {
+		for k, v := range s.clientTR.Counts() {
+			if res.ClientFaults == nil {
+				res.ClientFaults = make(map[faultinject.Kind]uint64)
+			}
+			res.ClientFaults[k] += v
+		}
+	}
+	if s.serverMW != nil {
+		for k, v := range s.serverMW.Counts() {
+			if res.ServerFaults == nil {
+				res.ServerFaults = make(map[faultinject.Kind]uint64)
+			}
+			res.ServerFaults[k] += v
+		}
+	}
+}
+
+// Run executes one harness run.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxWall)
+	defer cancel()
+
+	env, bootstrap, err := buildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var log strings.Builder
+	sess, err := newSession(cfg, env, &log, "")
+	if err != nil {
+		return nil, err
+	}
+	defer sess.ts.Close()
+	if err := sess.srv.Bootstrap(bootstrap); err != nil {
+		return nil, err
+	}
+	if err := sess.runCycles(ctx, 0, cfg.Cycles); err != nil {
+		return nil, err
+	}
+	versions, err := sess.epilogue(ctx)
+	if err != nil {
+		return nil, err
+	}
+	stores, err := sess.exportStores()
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
-		DecisionLog:     []byte(log.String()),
-		StoreCSV:        stores,
-		ModelVersion:    versions,
-		Retries:         clientReg.Counter("waldo_client_retries_total", "").Value(),
-		StaleServed:     clientReg.Counter("waldo_client_stale_served_total", "").Value(),
-		Shed:            serverReg.Counter("waldo_dbserver_shed_total", "").Value(),
-		UploadsAccepted: uint64(uploaded),
-
-		RefreshErrorsWhileCached: errsWhileCached,
+		DecisionLog:  []byte(log.String()),
+		StoreCSV:     stores,
+		ModelVersion: versions,
 	}
-	if clientTR != nil {
-		res.ClientFaults = clientTR.Counts()
-	}
-	if serverMW != nil {
-		res.ServerFaults = serverMW.Counts()
-	}
+	sess.addCounters(res)
 	return res, nil
 }
 

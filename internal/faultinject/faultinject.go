@@ -19,6 +19,14 @@
 // exactly-once effect, which is what lets the end-to-end chaos harness
 // (internal/e2e) demand byte-identical final state against a fault-free
 // run.
+//
+// The same Plan machinery also reaches below the network: [FaultFS]
+// wraps the write-ahead log's filesystem seam (wal.FS) and injects
+// storage faults — [FsyncErr] (a failed fsync, which must wedge the log
+// fail-stop) and [PartialWrite] (a write torn partway through, which
+// recovery must truncate away). Only write and sync operations consume
+// sequence numbers, so a script targets the Nth durability-relevant op
+// regardless of reads in between.
 package faultinject
 
 import (
@@ -45,6 +53,13 @@ const (
 	Corrupt
 	// Truncate forwards the request and cuts the response body short.
 	Truncate
+	// FsyncErr fails a file Sync call — a storage-level fault consumed by
+	// [FaultFS], not the network injectors (Transport and Middleware
+	// forward it untouched).
+	FsyncErr
+	// PartialWrite cuts a file Write short and fails it — the torn-write
+	// crash shape the WAL must recover from. FaultFS-only, like FsyncErr.
+	PartialWrite
 
 	numKinds
 )
@@ -66,6 +81,10 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Truncate:
 		return "truncate"
+	case FsyncErr:
+		return "fsync-err"
+	case PartialWrite:
+		return "partial-write"
 	}
 	return fmt.Sprintf("faultinject.Kind(%d)", int(k))
 }

@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/wsdetect/waldo/internal/wal"
+)
+
+// FaultFS is the storage-side counterpart of Transport: a [wal.FS]
+// wrapper that injects FsyncErr and PartialWrite faults into the files it
+// opens, deciding per file operation from a deterministic [Plan] exactly
+// like the network injectors decide per request. Operations are numbered
+// globally across all files in the order they happen; only Write and
+// Sync calls consume a sequence number (and only those two kinds apply —
+// any other Kind a plan returns is treated as None).
+//
+// A PartialWrite writes a prefix of the buffer and fails the call; an
+// FsyncErr fails the Sync outright. Both leave the underlying file in
+// exactly the state a kernel crash or full disk would: the WAL's
+// fail-stop and torn-tail recovery paths are the code under test.
+type FaultFS struct {
+	// FS is the real filesystem; nil means wal.OSFS.
+	FS wal.FS
+	// Plan decides the fault for each numbered file operation. Nil
+	// injects nothing.
+	Plan Plan
+
+	seq    atomic.Uint64
+	counts [numKinds]atomic.Uint64
+}
+
+// Count reports how many operations were decided as kind so far.
+func (f *FaultFS) Count(kind Kind) uint64 {
+	if kind < 0 || kind >= numKinds {
+		return 0
+	}
+	return f.counts[kind].Load()
+}
+
+func (f *FaultFS) inner() wal.FS {
+	if f.FS == nil {
+		return wal.OSFS{}
+	}
+	return f.FS
+}
+
+// decide numbers one file operation and returns its fault.
+func (f *FaultFS) decide() Fault {
+	seq := f.seq.Add(1) - 1
+	var fault Fault
+	if f.Plan != nil {
+		fault = f.Plan.Decide(seq)
+	}
+	if fault.Kind != FsyncErr && fault.Kind != PartialWrite {
+		fault = Fault{}
+	}
+	f.counts[fault.Kind].Add(1)
+	return fault
+}
+
+// MkdirAll implements wal.FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner().MkdirAll(dir) }
+
+// OpenAppend implements wal.FS.
+func (f *FaultFS) OpenAppend(path string) (wal.File, error) {
+	file, err := f.inner().OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Create implements wal.FS.
+func (f *FaultFS) Create(path string) (wal.File, error) {
+	file, err := f.inner().Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// ReadFile implements wal.FS.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.inner().ReadFile(path) }
+
+// ReadDir implements wal.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner().ReadDir(dir) }
+
+// Rename implements wal.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner().Rename(oldpath, newpath) }
+
+// Remove implements wal.FS.
+func (f *FaultFS) Remove(path string) error { return f.inner().Remove(path) }
+
+// Truncate implements wal.FS.
+func (f *FaultFS) Truncate(path string, size int64) error { return f.inner().Truncate(path, size) }
+
+// SyncDir implements wal.FS.
+func (f *FaultFS) SyncDir(dir string) error { return f.inner().SyncDir(dir) }
+
+// faultFile interposes on the two durability-relevant calls.
+type faultFile struct {
+	wal.File
+	fs *FaultFS
+}
+
+// Write implements wal.File, honoring PartialWrite faults.
+func (f *faultFile) Write(p []byte) (int, error) {
+	fault := f.fs.decide()
+	if fault.Kind == PartialWrite {
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultinject: partial write (%d of %d bytes)", n, len(p))
+	}
+	return f.File.Write(p)
+}
+
+// Sync implements wal.File, honoring FsyncErr faults.
+func (f *faultFile) Sync() error {
+	fault := f.fs.decide()
+	if fault.Kind == FsyncErr {
+		return fmt.Errorf("faultinject: fsync error")
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAppendGroupCommit measures the request-path cost of one
+// journal append: framing + enqueue, never an fsync (the flusher batches
+// those in the background). This is the latency a durable upload adds
+// before the handler acknowledges.
+func BenchmarkAppendGroupCommit(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, _, err := OpenStore(b.TempDir(), testCh, testKind, StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rs := testReadings(0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AppendReadings(rs)
+			}
+			b.StopTimer()
+			if err := s.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAppendDurable measures the full durability round trip —
+// append then wait for the group commit's fsync — under parallel
+// appenders sharing flushes. This is what a caller that needs
+// acknowledged durability (not the upload path) would pay.
+func BenchmarkAppendDurable(b *testing.B) {
+	s, _, err := OpenStore(b.TempDir(), testCh, testKind, StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rs := testReadings(0, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.AppendReadings(rs)
+			if err := s.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReplay measures recovery speed per record.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	s, _, err := OpenStore(dir, testCh, testKind, StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 2000
+	for i := 0; i < records; i++ {
+		s.AppendReadings(testReadings(i, 1))
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, rec, err := OpenStore(dir, testCh, testKind, StoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Readings) != records {
+			b.Fatalf("recovered %d readings", len(rec.Readings))
+		}
+		s2.Close()
+	}
+}

@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Snapshot file format (little-endian), CRC-32 over everything before the
+// trailer:
+//
+//	magic "WLSN" | u16 codec version | u16 channel | u8 sensor |
+//	u64 segment epoch | u32 model version | u32 trained count |
+//	u32 reading count | readings (fixed-size core codec) | u32 CRC-32
+var snapMagic = [4]byte{'W', 'L', 'S', 'N'}
+
+const (
+	snapVersion     uint16 = 1
+	snapshotName           = "snapshot.bin"
+	snapshotTmpName        = "snapshot.bin.tmp"
+)
+
+// snapshotState is the decoded content of a snapshot file.
+type snapshotState struct {
+	epoch        uint64
+	modelVersion int
+	trainedCount int
+	readings     []dataset.Reading
+}
+
+// encodeSnapshot renders the snapshot file content.
+func encodeSnapshot(ch rfenv.Channel, kind sensor.Kind, st snapshotState) []byte {
+	buf := make([]byte, 0, 29+len(st.readings)*core.ReadingWireSize+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(ch))
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint64(buf, st.epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.modelVersion))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.trainedCount))
+	buf = core.AppendReadingsWire(buf, st.readings)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeSnapshot parses and validates a snapshot file for the given
+// store identity.
+func decodeSnapshot(data []byte, ch rfenv.Channel, kind sensor.Kind) (snapshotState, error) {
+	var st snapshotState
+	if len(data) < 25+4 {
+		return st, fmt.Errorf("wal: snapshot truncated: %d bytes", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return st, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	if [4]byte(body[:4]) != snapMagic {
+		return st, fmt.Errorf("wal: bad snapshot magic %q", body[:4])
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != snapVersion {
+		return st, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	if got := rfenv.Channel(binary.LittleEndian.Uint16(body[6:])); got != ch {
+		return st, fmt.Errorf("wal: snapshot is for channel %d, store is channel %d", got, ch)
+	}
+	if got := sensor.Kind(body[8]); got != kind {
+		return st, fmt.Errorf("wal: snapshot is for sensor %d, store is sensor %d", got, kind)
+	}
+	st.epoch = binary.LittleEndian.Uint64(body[9:])
+	st.modelVersion = int(binary.LittleEndian.Uint32(body[17:]))
+	st.trainedCount = int(binary.LittleEndian.Uint32(body[21:]))
+	readings, rest, err := core.DecodeReadingsWire(body[25:])
+	if err != nil {
+		return st, fmt.Errorf("wal: snapshot readings: %w", err)
+	}
+	if len(rest) != 0 {
+		return st, fmt.Errorf("wal: snapshot has %d trailing bytes", len(rest))
+	}
+	st.readings = readings
+	return st, nil
+}
+
+// writeSnapshot atomically replaces the store's snapshot file: temp file,
+// fsync, rename, directory fsync. A crash at any point leaves either the
+// old or the new snapshot intact, never a partial one.
+func writeSnapshot(dir string, fs FS, ch rfenv.Channel, kind sensor.Kind, st snapshotState) error {
+	data := encodeSnapshot(ch, kind, st)
+	tmp := filepath.Join(dir, snapshotTmpName)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: install snapshot: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// Store record payload kinds.
+const (
+	recAppend  byte = 1 // accepted reading batch
+	recRetrain byte = 2 // model version bump + trained prefix length
+)
+
+// StoreDirName renders the on-disk directory name for a store key, e.g.
+// "ch47-s1" for channel 47, sensor kind 1.
+func StoreDirName(ch rfenv.Channel, kind sensor.Kind) string {
+	return fmt.Sprintf("ch%d-s%d", int(ch), int(kind))
+}
+
+// ParseStoreDirName inverts StoreDirName, rejecting names that are not a
+// store directory (so unrelated files in a data dir are ignored).
+func ParseStoreDirName(name string) (rfenv.Channel, sensor.Kind, bool) {
+	var ch, s int
+	if n, err := fmt.Sscanf(name, "ch%d-s%d", &ch, &s); n != 2 || err != nil {
+		return 0, 0, false
+	}
+	if name != StoreDirName(rfenv.Channel(ch), sensor.Kind(s)) {
+		return 0, 0, false
+	}
+	return rfenv.Channel(ch), sensor.Kind(s), true
+}
+
+// StoreOptions parameterizes OpenStore.
+type StoreOptions struct {
+	// FS is the filesystem to persist through; nil means the real one
+	// (OSFS). Tests and the chaos layer inject fault-carrying FS values.
+	FS FS
+	// Metrics receives the waldo_wal_* series, labeled with the store
+	// identity; nil leaves the store uninstrumented.
+	Metrics *telemetry.Registry
+	// FlushInterval bounds how long an unsynced append may sit before the
+	// flusher forces an fsync (the group-commit coalescing window). Zero
+	// means the default; Sync always forces an immediate fsync regardless.
+	FlushInterval time.Duration
+}
+
+// Recovered is the state OpenStore rebuilt from disk, to be fed into
+// core.Updater.Restore.
+type Recovered struct {
+	// Readings is the full trusted store in original append order.
+	Readings []dataset.Reading
+	// ModelVersion and TrainedCount describe the last completed retrain
+	// (0, 0 when the store crashed before its first).
+	ModelVersion int
+	TrainedCount int
+	// Stats summarizes the replay (segments visited, records applied,
+	// torn-tail truncation).
+	Stats ReplayStats
+}
+
+// Store is the durable persistence of one (channel, sensor) reading
+// store: a write-ahead log of accepted batches and retrain markers, plus
+// snapshot compaction. It implements core.Journal, so wiring it into an
+// updater via SetJournal journals every accepted mutation in apply order.
+type Store struct {
+	dir  string
+	fs   FS
+	ch   rfenv.Channel
+	kind sensor.Kind
+	m    logMetrics
+	log  *Log
+	// scratch is the reusable record-payload buffer for the journal
+	// methods. Safe without a lock: core.Journal calls are serialized by
+	// the updater's store lock, and Log.Append copies the payload into
+	// the pending batch before returning.
+	scratch []byte
+}
+
+// OpenStore opens (creating if needed) the durable store rooted at dir
+// and recovers its persisted state: snapshot first, then every log
+// segment at or above the snapshot's epoch, tolerating a torn final
+// record. The returned log is open for appending.
+func OpenStore(dir string, ch rfenv.Channel, kind sensor.Kind, opts StoreOptions) (*Store, *Recovered, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	scope := fmt.Sprintf("%d/%d", int(ch), int(kind))
+	m := newLogMetrics(opts.Metrics, scope)
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create store dir: %w", err)
+	}
+
+	start := time.Now()
+	rec := &Recovered{}
+	minEpoch := uint64(1)
+	if data, err := fs.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		st, err := decodeSnapshot(data, ch, kind)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %s: %w (see OPERATIONS.md, recovering from corruption)", dir, err)
+		}
+		rec.Readings = st.readings
+		rec.ModelVersion = st.modelVersion
+		rec.TrainedCount = st.trainedCount
+		minEpoch = st.epoch
+	}
+	top, stats, err := replaySegments(dir, fs, m, minEpoch, func(payload []byte) error {
+		return applyRecord(rec, payload)
+	})
+	rec.Stats = stats
+	if err != nil {
+		return nil, nil, err
+	}
+	m.replaySeconds.Observe(time.Since(start).Seconds())
+
+	log, err := openLog(dir, fs, m, top, opts.FlushInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Store{dir: dir, fs: fs, ch: ch, kind: kind, m: m, log: log}, rec, nil
+}
+
+// applyRecord folds one replayed record into the recovered state.
+func applyRecord(rec *Recovered, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	switch payload[0] {
+	case recAppend:
+		rs, rest, err := DecodeAppendRecord(payload)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("append record has %d trailing bytes", len(rest))
+		}
+		rec.Readings = append(rec.Readings, rs...)
+		return nil
+	case recRetrain:
+		version, trained, err := DecodeRetrainRecord(payload)
+		if err != nil {
+			return err
+		}
+		if trained > len(rec.Readings) {
+			return fmt.Errorf("retrain record trained on %d of %d readings", trained, len(rec.Readings))
+		}
+		rec.ModelVersion = version
+		rec.TrainedCount = trained
+		return nil
+	default:
+		return fmt.Errorf("unknown record kind %d", payload[0])
+	}
+}
+
+// DecodeAppendRecord parses a reading-batch record payload (exported for
+// the property tests and offline inspection tools).
+func DecodeAppendRecord(payload []byte) ([]dataset.Reading, []byte, error) {
+	if len(payload) == 0 || payload[0] != recAppend {
+		return nil, nil, fmt.Errorf("not an append record")
+	}
+	return core.DecodeReadingsWire(payload[1:])
+}
+
+// DecodeRetrainRecord parses a retrain-marker record payload.
+func DecodeRetrainRecord(payload []byte) (version, trainedCount int, err error) {
+	if len(payload) != 9 || payload[0] != recRetrain {
+		return 0, 0, fmt.Errorf("malformed retrain record (%d bytes)", len(payload))
+	}
+	return int(binary.LittleEndian.Uint32(payload[1:])), int(binary.LittleEndian.Uint32(payload[5:])), nil
+}
+
+// AppendReadings implements core.Journal: it queues an accepted batch for
+// the next group commit. Called under the updater's store lock, so the
+// journal order is the store order. A wedged log counts the drop instead
+// of blocking ingest (waldo_wal_dropped_records_total; alert on
+// waldo_wal_failed).
+func (s *Store) AppendReadings(rs []dataset.Reading) {
+	s.scratch = append(s.scratch[:0], recAppend)
+	s.scratch = core.AppendReadingsWire(s.scratch, rs)
+	if err := s.log.Append(s.scratch); err != nil {
+		s.m.dropped.Inc()
+	}
+}
+
+// buildAppendPayload renders a reading-batch record payload.
+func buildAppendPayload(rs []dataset.Reading) []byte {
+	payload := make([]byte, 1, 1+4+len(rs)*core.ReadingWireSize)
+	payload[0] = recAppend
+	return core.AppendReadingsWire(payload, rs)
+}
+
+// RecordRetrain implements core.Journal: it queues a retrain marker.
+func (s *Store) RecordRetrain(version, trainedCount int) {
+	payload := make([]byte, 9)
+	payload[0] = recRetrain
+	binary.LittleEndian.PutUint32(payload[1:], uint32(version))
+	binary.LittleEndian.PutUint32(payload[5:], uint32(trainedCount))
+	if err := s.log.Append(payload); err != nil {
+		s.m.dropped.Inc()
+	}
+}
+
+// Sync blocks until every queued record is on stable storage.
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// BeginCheckpoint rotates the log to a fresh segment and returns its
+// epoch. Call it inside core.Updater.Checkpoint, so the state captured
+// there aligns exactly with the segment cut: every journaled record
+// below the returned epoch is contained in that state.
+func (s *Store) BeginCheckpoint() (uint64, error) {
+	return s.log.rotate()
+}
+
+// CompleteCheckpoint writes the snapshot captured at epoch (atomically:
+// temp file, fsync, rename, dir fsync) and deletes the log segments it
+// covers. Call it after Checkpoint returns, off the store lock — the
+// readings slice is a stable append-only prefix, so concurrent ingest is
+// safe while the snapshot writes.
+func (s *Store) CompleteCheckpoint(epoch uint64, readings []dataset.Reading, modelVersion, trainedCount int) error {
+	err := writeSnapshot(s.dir, s.fs, s.ch, s.kind, snapshotState{
+		epoch:        epoch,
+		modelVersion: modelVersion,
+		trainedCount: trainedCount,
+		readings:     readings,
+	})
+	if err == nil {
+		err = s.log.removeBelow(epoch)
+	}
+	if err != nil {
+		s.m.snapshotErrs.Inc()
+		return err
+	}
+	s.m.snapshots.Inc()
+	return nil
+}
+
+// Close drains and closes the log. No snapshot is taken: the directory
+// stays crash-shaped and OpenStore replays it identically, which is the
+// point — a clean shutdown and a kill -9 recover through the same path.
+func (s *Store) Close() error { return s.log.Close() }

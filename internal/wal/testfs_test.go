@@ -1,0 +1,44 @@
+package wal
+
+import "sync/atomic"
+
+// flakyFS wraps a real FS and, when armed, fails every file fsync — the
+// minimal failure the log must turn into fail-stop wedging.
+type flakyFS struct {
+	FS
+	failSyncs atomic.Bool
+}
+
+func (f *flakyFS) OpenAppend(path string) (File, error) {
+	file, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+func (f *flakyFS) Create(path string) (File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+type flakyFile struct {
+	File
+	fs *flakyFS
+}
+
+func (f *flakyFile) Sync() error {
+	if f.fs.failSyncs.Load() {
+		return errInjected
+	}
+	return f.File.Sync()
+}
+
+type injectedError struct{}
+
+func (injectedError) Error() string { return "injected fsync failure" }
+
+var errInjected = injectedError{}

@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+const (
+	testCh   = rfenv.Channel(47)
+	testKind = sensor.KindRTLSDR
+)
+
+// testReading builds a valid reading distinguishable by seq.
+func testReading(seq int) dataset.Reading {
+	return dataset.Reading{
+		Seq:     seq,
+		Loc:     geo.Point{Lat: 40.0 + float64(seq)*1e-4, Lon: -75.0 - float64(seq)*1e-4},
+		Channel: testCh,
+		Sensor:  testKind,
+		Signal:  features.Signal{RSSdBm: -90 + float64(seq%30), CFTdB: 3.5, AFTdB: 1.25},
+		AltM:    float64(seq % 4),
+		TrueDBm: -88.5,
+	}
+}
+
+func testReadings(from, n int) []dataset.Reading {
+	rs := make([]dataset.Reading, n)
+	for i := range rs {
+		rs[i] = testReading(from + i)
+	}
+	return rs
+}
+
+func openTestStore(t *testing.T, dir string, reg *telemetry.Registry) (*Store, *Recovered) {
+	t.Helper()
+	s, rec, err := OpenStore(dir, testCh, testKind, StoreOptions{Metrics: reg})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s, rec
+}
+
+func TestSegNameRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{1, 42, 9999999999} {
+		name := segName(epoch)
+		got, ok := parseSegName(name)
+		if !ok || got != epoch {
+			t.Errorf("parseSegName(%q) = %d, %v; want %d, true", name, got, ok, epoch)
+		}
+	}
+	for _, bad := range []string{"wal.log", "wal.123.log", "wal.00000000ab.log", "snapshot.bin", "wal.0000000001.log.tmp"} {
+		if _, ok := parseSegName(bad); ok {
+			t.Errorf("parseSegName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStoreDirNameRoundTrip(t *testing.T) {
+	name := StoreDirName(testCh, testKind)
+	ch, kind, ok := ParseStoreDirName(name)
+	if !ok || ch != testCh || kind != testKind {
+		t.Fatalf("ParseStoreDirName(%q) = %v, %v, %v", name, ch, kind, ok)
+	}
+	for _, bad := range []string{"", "foo", "ch47", "ch47-s", "ch47-s1x", "ch047-s1", "ch47-s1 "} {
+		if _, _, ok := ParseStoreDirName(bad); ok {
+			t.Errorf("ParseStoreDirName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStoreRecoverAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openTestStore(t, dir, nil)
+	if len(rec.Readings) != 0 || rec.ModelVersion != 0 {
+		t.Fatalf("fresh store recovered state: %+v", rec)
+	}
+	s.AppendReadings(testReadings(0, 3))
+	s.RecordRetrain(1, 3)
+	s.AppendReadings(testReadings(3, 2))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2 := openTestStore(t, dir, nil)
+	defer s2.Close()
+	if !reflect.DeepEqual(rec2.Readings, testReadings(0, 5)) {
+		t.Errorf("recovered readings mismatch: got %d readings", len(rec2.Readings))
+	}
+	if rec2.ModelVersion != 1 || rec2.TrainedCount != 3 {
+		t.Errorf("recovered model = v%d/%d, want v1/3", rec2.ModelVersion, rec2.TrainedCount)
+	}
+	if rec2.Stats.Records != 3 || rec2.Stats.TornTail {
+		t.Errorf("replay stats = %+v", rec2.Stats)
+	}
+}
+
+func TestStoreRecoverWithoutClose(t *testing.T) {
+	// Sync makes data durable even if the process then dies without
+	// Close — simulated by simply abandoning the store.
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	s.AppendReadings(testReadings(0, 4))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// no Close: crash.
+
+	s2, rec := openTestStore(t, dir, nil)
+	defer s2.Close()
+	if !reflect.DeepEqual(rec.Readings, testReadings(0, 4)) {
+		t.Errorf("recovered %d readings, want 4", len(rec.Readings))
+	}
+}
+
+func TestCheckpointCompactsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	s.AppendReadings(testReadings(0, 5))
+	s.RecordRetrain(1, 5)
+	epoch, err := s.BeginCheckpoint()
+	if err != nil {
+		t.Fatalf("BeginCheckpoint: %v", err)
+	}
+	// Appends after the cut belong to the new segment, not the snapshot.
+	s.AppendReadings(testReadings(5, 2))
+	if err := s.CompleteCheckpoint(epoch, testReadings(0, 5), 1, 5); err != nil {
+		t.Fatalf("CompleteCheckpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Old segments below the snapshot epoch must be gone.
+	names, err := (OSFS{}).ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if e, ok := parseSegName(name); ok && e < epoch {
+			t.Errorf("stale segment %s survived compaction", name)
+		}
+	}
+
+	s2, rec := openTestStore(t, dir, nil)
+	defer s2.Close()
+	if !reflect.DeepEqual(rec.Readings, testReadings(0, 7)) {
+		t.Errorf("recovered %d readings, want 7 (5 snapshot + 2 tail)", len(rec.Readings))
+	}
+	if rec.ModelVersion != 1 || rec.TrainedCount != 5 {
+		t.Errorf("recovered model = v%d/%d, want v1/5", rec.ModelVersion, rec.TrainedCount)
+	}
+}
+
+func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
+	// A crash after the segment cut but before the snapshot file lands
+	// must recover everything from the log alone.
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	s.AppendReadings(testReadings(0, 3))
+	if _, err := s.BeginCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendReadings(testReadings(3, 2))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// crash: CompleteCheckpoint never runs.
+
+	s2, rec := openTestStore(t, dir, nil)
+	defer s2.Close()
+	if !reflect.DeepEqual(rec.Readings, testReadings(0, 5)) {
+		t.Errorf("recovered %d readings, want 5", len(rec.Readings))
+	}
+	if rec.Stats.Segments != 2 {
+		t.Errorf("replayed %d segments, want 2", rec.Stats.Segments)
+	}
+}
+
+func TestTornTailTruncatedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	s, _ := openTestStore(t, dir, nil)
+	s.AppendReadings(testReadings(0, 3))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate an append torn mid-write: a partial frame at EOF.
+	seg := filepath.Join(dir, segName(1))
+	full := frame([]byte{recAppend, 9, 9, 9})
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rec := openTestStore(t, dir, reg)
+	if !rec.Stats.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if !reflect.DeepEqual(rec.Readings, testReadings(0, 3)) {
+		t.Errorf("recovered %d readings, want 3", len(rec.Readings))
+	}
+	scope := fmt.Sprintf("%d/%d", int(testCh), int(testKind))
+	if v := reg.Counter("waldo_wal_replay_torn_total", "", "store", scope).Value(); v != 1 {
+		t.Errorf("waldo_wal_replay_torn_total = %d, want 1", v)
+	}
+	s2.Close()
+
+	// The torn bytes were truncated away: a second recovery is clean.
+	s3, rec3 := openTestStore(t, dir, nil)
+	defer s3.Close()
+	if rec3.Stats.TornTail {
+		t.Error("torn tail reported again after truncation")
+	}
+}
+
+func TestCorruptSnapshotRefusesToOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	s.AppendReadings(testReadings(0, 3))
+	epoch, err := s.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteCheckpoint(epoch, testReadings(0, 3), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = OpenStore(dir, testCh, testKind, StoreOptions{})
+	if err == nil {
+		t.Fatal("OpenStore accepted a corrupt snapshot")
+	}
+	if !strings.Contains(err.Error(), "OPERATIONS.md") {
+		t.Errorf("error does not point at the runbook: %v", err)
+	}
+}
+
+func TestSnapshotIdentityChecked(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	epoch, err := s.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteCheckpoint(epoch, testReadings(0, 1), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The same directory opened under a different store identity must be
+	// rejected, not silently merged.
+	if _, _, err := OpenStore(dir, testCh+1, testKind, StoreOptions{}); err == nil {
+		t.Fatal("OpenStore accepted a snapshot for another channel")
+	}
+}
+
+func TestWedgedLogFailStop(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	fs := &flakyFS{FS: OSFS{}}
+	s, _, err := OpenStore(dir, testCh, testKind, StoreOptions{FS: fs, Metrics: reg})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer s.Close()
+
+	fs.failSyncs.Store(true)
+	s.AppendReadings(testReadings(0, 1))
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync succeeded through a failing fsync")
+	}
+	// The log is now wedged: further journal records are dropped and
+	// counted, never silently lost.
+	s.AppendReadings(testReadings(1, 1))
+	s.RecordRetrain(1, 1)
+	scope := fmt.Sprintf("%d/%d", int(testCh), int(testKind))
+	if v := reg.Counter("waldo_wal_dropped_records_total", "", "store", scope).Value(); v != 2 {
+		t.Errorf("waldo_wal_dropped_records_total = %d, want 2", v)
+	}
+	if v := reg.Gauge("waldo_wal_failed", "", "store", scope).Value(); v != 1 {
+		t.Errorf("waldo_wal_failed = %v, want 1", v)
+	}
+	if v := reg.Counter("waldo_wal_fsync_errors_total", "", "store", scope).Value(); v == 0 {
+		t.Error("waldo_wal_fsync_errors_total not incremented")
+	}
+}
+
+func TestRetrainRecordRoundTrip(t *testing.T) {
+	payload := make([]byte, 9)
+	payload[0] = recRetrain
+	payload[1] = 7 // version 7 little-endian
+	payload[5] = 3 // trained 3
+	version, trained, err := DecodeRetrainRecord(payload)
+	if err != nil || version != 7 || trained != 3 {
+		t.Fatalf("DecodeRetrainRecord = %d, %d, %v", version, trained, err)
+	}
+	if _, _, err := DecodeRetrainRecord(payload[:8]); err == nil {
+		t.Error("short retrain record accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package waldo
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestOperationsDocCoversEveryMetric pins OPERATIONS.md to the code: every
+// waldo_* metric name registered anywhere in non-test source must appear
+// in the runbook's metrics reference, so an operator grepping an alert
+// always finds guidance. Adding a metric means documenting it (with an
+// alert threshold) in the same change.
+func TestOperationsDocCoversEveryMetric(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+
+	metricRE := regexp.MustCompile(`"(waldo_[a-z0-9_]+)"`)
+	seen := map[string][]string{}
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// The source tree only; skip VCS internals.
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricRE.FindAllSubmatch(src, -1) {
+			name := string(m[1])
+			seen[name] = append(seen[name], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 20 {
+		t.Fatalf("found only %d waldo_* metric names in source; the scan is broken", len(seen))
+	}
+
+	for name, files := range seen {
+		if !strings.Contains(string(doc), name) {
+			t.Errorf("metric %s (registered in %s) is not documented in OPERATIONS.md", name, files[0])
+		}
+	}
+}
