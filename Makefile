@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal crash-test loadgen chaos clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster crash-test loadgen chaos cluster-test clean
 
 check: vet build race
 
-# Full pre-merge verification: formatting, vet, build, tests.
-verify: fmt-check vet build test
+# Full pre-merge verification: formatting, vet, build, tests, and the
+# sharded-cluster suite (in-process chaos harness + real-process smoke).
+verify: fmt-check vet build test cluster-test
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -78,6 +79,27 @@ chaos:
 	$(GO) test -race ./internal/faultinject/ ./internal/e2e/ -count 1
 	$(GO) test -race ./internal/client/ -run 'TestRetry|TestBackoff|TestBreaker|TestStaleServe|TestConcurrentRefreshUploadUnderFaults' -count 1
 	$(GO) test -race ./internal/dbserver/ -run 'TestLoadShedding|TestRequestTimeout|TestMaxBody' -count 1
+
+# Sharded-cluster acceptance: the ring/replication/gateway unit tests and
+# the kill-a-primary e2e chaos harness under the race detector, then a
+# real-process smoke — three waldo-server shards plus a waldo-gateway on
+# loopback, loadgen driving the gateway (DESIGN.md §12).
+cluster-test:
+	$(GO) test -race ./internal/cluster/ -count 1
+	$(GO) test -race ./internal/e2e/ -run TestCluster -count 1
+	$(GO) build -o bin ./cmd/waldo-server ./cmd/waldo-gateway ./cmd/waldo-loadgen
+	scripts/cluster_smoke.sh bin
+
+# Cluster tier benchmarks: gateway routing overhead vs a direct shard
+# upload (the acceptance bar: < 2× per op), plus ring lookup and
+# replication frame encode costs. Fixed iteration counts keep the
+# direct/gateway comparison fair. Results land in BENCH_6.json with the
+# raw text in BENCH_6.txt.
+CLUSTER_BENCH_PATTERN ?= BenchmarkUploadDirect|BenchmarkUploadViaGateway|BenchmarkRingOwner|BenchmarkFrameEncode
+
+bench-cluster:
+	$(GO) test -bench '$(CLUSTER_BENCH_PATTERN)' -benchmem -benchtime 3000x -run XXX ./internal/cluster/ | tee BENCH_6.txt
+	$(GO) run ./cmd/waldo-benchjson < BENCH_6.txt > BENCH_6.json
 
 clean:
 	$(GO) clean ./...

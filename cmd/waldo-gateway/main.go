@@ -1,0 +1,121 @@
+// Command waldo-gateway runs the cluster routing tier: it terminates the
+// WSD client API and proxies every request to the shard that owns its
+// (channel, geo-cell) key on the consistent-hash ring, failing over to a
+// shard's replica endpoints when the primary stops answering.
+//
+// Usage:
+//
+//	waldo-server -addr :9101 -data-dir /var/waldo/s0 -shard-id s0 &
+//	waldo-server -addr :9102 -data-dir /var/waldo/s1 -shard-id s1 &
+//	waldo-gateway -addr :9100 -shards 's0=http://localhost:9101;s1=http://localhost:9102'
+//
+// Each -shards entry is id=url[,url...]: the first URL is the primary,
+// later URLs are replicas in failover order. Every gateway for a cluster
+// must be started with the same -shards IDs, -seed, -vnodes, and
+// -cell-deg, or they will disagree about ownership; the /healthz
+// cluster_version field exists to catch exactly that drift.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waldo-gateway", flag.ContinueOnError)
+	addr := fs.String("addr", ":9100", "listen address")
+	shardsFlag := fs.String("shards", "", "topology: 'id=url[,url...];id2=...' (primary URL first, required)")
+	seed := fs.Uint64("seed", 0, "ring placement seed (must match every other gateway)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard (0 = default 128)")
+	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum in degrees")
+	probeEvery := fs.Duration("probe-every", 2*time.Second, "endpoint health-probe interval (0 = per-request failover only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
+
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Shards:        shards,
+		Ring:          cluster.RingConfig{Seed: *seed, VNodes: *vnodes},
+		CellDeg:       *cellDeg,
+		ProbeInterval: *probeEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	log.Printf("routing %d shards, cluster version %s, serving on %s", len(shards), gw.ConfigVersion(), *addr)
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// parseShards decodes 'id=url[,url...];id2=...' into ShardSpecs.
+func parseShards(s string) ([]cluster.ShardSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-shards is required, e.g. 's0=http://localhost:9101'")
+	}
+	var specs []cluster.ShardSpec
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, urls, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || urls == "" {
+			return nil, fmt.Errorf("bad -shards entry %q, want id=url[,url...]", entry)
+		}
+		spec := cluster.ShardSpec{ID: strings.TrimSpace(id)}
+		for _, u := range strings.Split(urls, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			spec.URLs = append(spec.URLs, u)
+		}
+		if len(spec.URLs) == 0 {
+			return nil, fmt.Errorf("shard %q has no URLs", spec.ID)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

@@ -29,8 +29,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -43,10 +46,12 @@ import (
 	"time"
 
 	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/cluster"
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
 	"github.com/wsdetect/waldo/internal/faultinject"
+	"github.com/wsdetect/waldo/internal/geo"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
@@ -72,6 +77,8 @@ type config struct {
 	seed        int64
 	dumpMetrics bool
 	faults      *faultinject.Schedule
+	gateway     string
+	cellDeg     float64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -87,6 +94,8 @@ func parseFlags(args []string) (config, error) {
 	seed := fs.Int64("seed", 42, "simulation seed")
 	dump := fs.Bool("metrics", false, "dump the server's Prometheus exposition after the report")
 	faults := fs.String("faults", "", "seeded fault schedule on the client transport, e.g. 'drop=0.05,error=0.05,delay=0.1,latency=2ms' (see package doc)")
+	gateway := fs.String("gateway", "", "drive an external cluster gateway at this base URL instead of the in-process server (see waldo-gateway)")
+	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum for grouping -gateway bootstrap uploads (match the gateway's -cell-deg)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -100,6 +109,8 @@ func parseFlags(args []string) (config, error) {
 		uploadBatch: *uploadBatch,
 		seed:        *seed,
 		dumpMetrics: *dump,
+		gateway:     strings.TrimRight(*gateway, "/"),
+		cellDeg:     *cellDeg,
 	}
 	if cfg.clients < 1 {
 		return config{}, fmt.Errorf("-clients must be ≥ 1")
@@ -207,22 +218,47 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := dbserver.New(dbserver.Config{
-		Constructor:  core.ConstructorConfig{ClusterK: cfg.clusterK, Seed: cfg.seed},
-		AlphaPrimeDB: cfg.alphaPrime,
-	})
 	var all []dataset.Reading
 	for _, ch := range cfg.channels {
 		all = append(all, campaign.Readings(ch, sensor.KindRTLSDR)...)
 	}
-	if err := srv.Bootstrap(all); err != nil {
-		return err
+	// In gateway mode the cluster is external: bootstrap travels through
+	// the gateway's routed upload path so each (channel, cell) group lands
+	// on its owning shard, and models come from a broadcast retrain.
+	var srv *dbserver.Server
+	var baseURL string
+	if cfg.gateway != "" {
+		if err := bootstrapGateway(cfg, all); err != nil {
+			return fmt.Errorf("gateway bootstrap: %w", err)
+		}
+		baseURL = cfg.gateway
+	} else {
+		srv = dbserver.New(dbserver.Config{
+			Constructor:  core.ConstructorConfig{ClusterK: cfg.clusterK, Seed: cfg.seed},
+			AlphaPrimeDB: cfg.alphaPrime,
+		})
+		if err := srv.Bootstrap(all); err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
 	}
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	// Seed locations give gateway-mode clients a routing hint whose shard
+	// is guaranteed to hold data for the channel.
+	seedLocs := map[rfenv.Channel]geo.Point{}
+	for _, r := range all {
+		if _, ok := seedLocs[r.Channel]; !ok {
+			seedLocs[r.Channel] = r.Loc
+		}
+	}
 	fmt.Printf("bootstrap: %d readings across %d channels, models trained in %v\n",
 		len(all), len(cfg.channels), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("server:    %s (in-process)\n", ts.URL)
+	if cfg.gateway != "" {
+		fmt.Printf("server:    %s (external gateway)\n", baseURL)
+	} else {
+		fmt.Printf("server:    %s (in-process)\n", baseURL)
+	}
 	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
 		cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
 	// One shared transport replays the seeded schedule across all
@@ -247,7 +283,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			if err := driveClient(cfg, env, ts.URL, faultTR, clientReg, scansTotal, deadline, worker); err != nil {
+			if err := driveClient(cfg, env, baseURL, faultTR, clientReg, scansTotal, seedLocs, deadline, worker); err != nil {
 				workerErr.CompareAndSwap(nil, err)
 			}
 		}(w)
@@ -257,7 +293,11 @@ func run(args []string) error {
 		return err
 	}
 
-	report(cfg, srv.Metrics(), clientReg)
+	var serverReg *telemetry.Registry
+	if srv != nil {
+		serverReg = srv.Metrics()
+	}
+	report(cfg, serverReg, clientReg)
 	if faultTR != nil {
 		fmt.Printf("\nfault injection: %d requests, %d faulted (%v)\n",
 			faultTR.Requests(), faultTR.Injected(), faultCountString(faultTR.Counts()))
@@ -268,11 +308,69 @@ func run(args []string) error {
 	}
 	if cfg.dumpMetrics {
 		fmt.Println("\n--- /metrics ---")
-		if err := srv.Metrics().WritePrometheus(os.Stdout); err != nil {
+		if srv != nil {
+			if err := srv.Metrics().WritePrometheus(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := dumpURL(cfg.gateway + "/metrics"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// bootstrapGateway pushes the campaign through the gateway's routed
+// upload path, one batch per (channel, cell) so every batch lands whole
+// on its owning shard, then broadcast-retrains each channel.
+func bootstrapGateway(cfg config, all []dataset.Reading) error {
+	groups := map[cluster.RouteKey][]dataset.Reading{}
+	for _, r := range all {
+		k := cluster.RouteKey{Channel: r.Channel, Cell: cluster.CellOf(r.Loc, cfg.cellDeg)}
+		groups[k] = append(groups[k], r)
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	for _, rs := range groups {
+		up := dbserver.UploadJSON{CISpanDB: 0.2}
+		for _, r := range rs {
+			up.Readings = append(up.Readings, dbserver.FromReading(r))
+		}
+		body, err := json.Marshal(up)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(cfg.gateway+"/v1/readings", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("bootstrap upload = %s", resp.Status)
+		}
+	}
+	for _, ch := range cfg.channels {
+		url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", cfg.gateway, int(ch), int(sensor.KindRTLSDR))
+		resp, err := httpc.Post(url, "", nil)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("broadcast retrain ch%d = %s", int(ch), resp.Status)
+		}
+	}
+	fmt.Printf("bootstrap: %d routed batches uploaded via gateway\n", len(groups))
+	return nil
+}
+
+// dumpURL copies a GET response body to stdout.
+func dumpURL(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // driveClient runs one WSD's closed loop until the deadline: download the
@@ -282,7 +380,8 @@ func run(args []string) error {
 // the resilience layer (retries, stale-serve, breaker) absorbs them and
 // the loop presses on.
 func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
-	reg *telemetry.Registry, scans *telemetry.Counter, deadline time.Time, worker int) error {
+	reg *telemetry.Registry, scans *telemetry.Counter, seedLocs map[rfenv.Channel]geo.Point,
+	deadline time.Time, worker int) error {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(worker)*7919))
 	spec, err := sensor.SpecFor(sensor.KindRTLSDR)
 	if err != nil {
@@ -307,8 +406,14 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 		return err
 	}
 	c.SetMetrics(reg)
+	gatewayMode := cfg.gateway != ""
 	models := make(map[rfenv.Channel]*core.Model, len(cfg.channels))
 	for _, ch := range cfg.channels {
+		if gatewayMode {
+			// Hint at a location that bootstrapped this channel, so the
+			// gateway routes the first fetch to a shard that has a model.
+			c.SetLocationHint(seedLocs[ch])
+		}
 		m, _, err := c.Model(ch, sensor.KindRTLSDR)
 		for err != nil && faultTR != nil && time.Now().Before(deadline) {
 			m, _, err = c.Model(ch, sensor.KindRTLSDR)
@@ -330,17 +435,22 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 		// Parameters Updater path, and it keeps /v1/model load realistic
 		// (cache hits locally, occasional misses after invalidation).
 		ch := cfg.channels[rng.Intn(len(cfg.channels))]
+		loc := center.Offset(rng.Float64()*360, rng.Float64()*12000)
+		if gatewayMode {
+			// The hint routes model fetches to the shard owning this
+			// position's cell — the same shard the upload below hits.
+			c.SetLocationHint(loc)
+		}
 		if rng.Float64() < 0.02 {
 			c.Invalidate(ch, sensor.KindRTLSDR)
 		}
 		if _, _, err := c.Model(ch, sensor.KindRTLSDR); err != nil {
-			if faultTR != nil {
-				continue // outage past the retry budget; next cycle
+			if faultTR != nil || gatewayMode {
+				continue // outage or unowned cell past the retry budget
 			}
 			return err
 		}
 
-		loc := center.Offset(rng.Float64()*360, rng.Float64()*12000)
 		radio.SetPosition(loc)
 		cs, err := wsd.SenseChannel(ch, loc)
 		if err != nil {
@@ -396,6 +506,10 @@ func report(cfg config, server, clients *telemetry.Registry) {
 	printLatency("model fetch (miss)", clients.Histogram("waldo_client_model_fetch_seconds", "", nil).Snapshot())
 	printLatency("upload round-trip ", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
 
+	if server == nil {
+		fmt.Println("\n(server-side registries live in the external cluster; scrape the gateway and shards' /metrics)")
+		return
+	}
 	fmt.Println("\nserver-side latency (per route):")
 	routes := collectRoutes(server)
 	for _, route := range routes {

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/cluster"
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
@@ -55,11 +56,17 @@ func run(args []string) error {
 	alphaPrime := fs.Float64("alpha-prime", 1.0, "upload acceptance CI span (dB)")
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory only")
 	snapshotEvery := fs.Int("snapshot-every", 10000, "compact a store's WAL into a snapshot after this many journaled readings (0 = only via /v1/admin/snapshot)")
+	shardID := fs.String("shard-id", "", "run as a cluster shard under this ID (enables /v1/repl endpoints; see waldo-gateway)")
+	replicasFlag := fs.String("replicas", "", "comma-separated replica base URLs to ship the journal to (requires -shard-id)")
+	shipEvery := fs.Duration("ship-interval", 0, "replication shipping tick (0 = cluster default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" && *dataDir == "" {
-		return fmt.Errorf("-data is required (generate one with waldo-wardrive) unless -data-dir is set")
+	if *data == "" && *dataDir == "" && *shardID == "" {
+		return fmt.Errorf("-data is required (generate one with waldo-wardrive) unless -data-dir or -shard-id is set")
+	}
+	if *replicasFlag != "" && *shardID == "" {
+		return fmt.Errorf("-replicas requires -shard-id")
 	}
 
 	var kind core.ClassifierKind
@@ -92,7 +99,7 @@ func run(args []string) error {
 		log.Printf("loaded %d readings from %s", len(readings), *data)
 	}
 
-	srv, err := dbserver.Open(dbserver.Config{
+	dbCfg := dbserver.Config{
 		Constructor: core.ConstructorConfig{
 			ClusterK:   *clusterK,
 			Classifier: kind,
@@ -101,11 +108,42 @@ func run(args []string) error {
 		AlphaPrimeDB:  *alphaPrime,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapshotEvery,
-	})
-	if err != nil {
-		return fmt.Errorf("open store: %w", err)
 	}
-	defer srv.Close()
+
+	// A shard wraps the same embedded DB with the replication surface;
+	// standalone mode serves the DB directly. Either way the client API
+	// is identical.
+	var (
+		srv     *dbserver.Server
+		handler http.Handler
+		closer  func() error
+	)
+	if *shardID != "" {
+		var replicaURLs []string
+		for _, u := range strings.Split(*replicasFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaURLs = append(replicaURLs, strings.TrimRight(u, "/"))
+			}
+		}
+		node, err := cluster.OpenNode(cluster.NodeConfig{
+			ID:           *shardID,
+			DB:           dbCfg,
+			ReplicaURLs:  replicaURLs,
+			ShipInterval: *shipEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("open shard: %w", err)
+		}
+		srv, handler, closer = node.DB, node.Handler(), node.Close
+		log.Printf("shard %s: %d replicas", *shardID, len(replicaURLs))
+	} else {
+		s, err := dbserver.Open(dbCfg)
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		srv, handler, closer = s, s.Handler(), s.Close
+	}
+	defer closer()
 	if len(readings) > 0 {
 		start := time.Now()
 		if err := srv.Bootstrap(readings); err != nil {
@@ -117,7 +155,7 @@ func run(args []string) error {
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// On SIGINT/SIGTERM: stop accepting requests, then flush and close
@@ -135,6 +173,6 @@ func run(args []string) error {
 		if err := server.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return srv.Close()
+		return closer()
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/geo"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
@@ -57,6 +59,14 @@ type Config struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// Now is the breaker's clock; nil means time.Now.
 	Now func() time.Time
+	// Resolver, when set, is consulted before every attempt for the base
+	// URL to target, letting one client follow a moving endpoint — a
+	// DNS-free gateway list, a service-discovery watch, a test harness
+	// swapping servers. Returning "" falls back to the constructor's
+	// baseURL. The client itself stays protocol-identical: a resolver
+	// pointing at a cluster gateway and a baseURL pointing at a single
+	// dbserver exercise exactly the same code.
+	Resolver func() string
 }
 
 // Client talks to a Waldo spectrum database. It caches model descriptors:
@@ -65,6 +75,7 @@ type Config struct {
 // serving when the database is unreachable.
 type Client struct {
 	baseURL   string
+	resolver  func() string
 	httpc     *http.Client
 	timeout   time.Duration
 	retry     RetryPolicy
@@ -73,8 +84,10 @@ type Client struct {
 	sleep     func(ctx context.Context, d time.Duration) error
 	jitterSeq atomic.Uint64
 
-	mu    sync.Mutex
-	cache map[cacheKey]cached
+	mu      sync.Mutex
+	cache   map[cacheKey]cached
+	hint    geo.Point
+	hasHint bool
 
 	// Telemetry handles (nil-safe no-ops until SetMetrics): model
 	// download/upload latency, cache hit ratio, upload outcomes, and
@@ -95,11 +108,17 @@ type cacheKey struct {
 }
 
 type cached struct {
-	model   *core.Model
-	version string
-	etag    string
-	bytes   int
+	model          *core.Model
+	version        string
+	etag           string
+	bytes          int
+	clusterVersion string
 }
+
+// clusterVersionHeader mirrors cluster.ClusterVersionHeader without
+// making the device-side client depend on the server-side cluster
+// package.
+const clusterVersionHeader = "X-Waldo-Cluster-Version"
 
 // New returns a client for the database at baseURL (e.g.
 // "http://localhost:8473") with default resilience. httpc may be nil for
@@ -111,7 +130,7 @@ func New(baseURL string, httpc *http.Client) (*Client, error) {
 // NewWithConfig returns a client with explicit transport and resilience
 // parameters.
 func NewWithConfig(baseURL string, cfg Config) (*Client, error) {
-	if baseURL == "" {
+	if baseURL == "" && cfg.Resolver == nil {
 		return nil, fmt.Errorf("client: empty base URL")
 	}
 	if cfg.Timeout == 0 {
@@ -125,14 +144,15 @@ func NewWithConfig(baseURL string, cfg Config) (*Client, error) {
 		cfg.Sleep = sleepCtx
 	}
 	return &Client{
-		baseURL: baseURL,
-		httpc:   cfg.HTTPClient,
-		timeout: cfg.Timeout,
-		retry:   cfg.Retry,
-		brk:     newBreaker(cfg.Breaker, cfg.Now),
-		staleOK: !cfg.DisableStaleServe,
-		sleep:   cfg.Sleep,
-		cache:   make(map[cacheKey]cached),
+		baseURL:  baseURL,
+		resolver: cfg.Resolver,
+		httpc:    cfg.HTTPClient,
+		timeout:  cfg.Timeout,
+		retry:    cfg.Retry,
+		brk:      newBreaker(cfg.Breaker, cfg.Now),
+		staleOK:  !cfg.DisableStaleServe,
+		sleep:    cfg.Sleep,
+		cache:    make(map[cacheKey]cached),
 	}, nil
 }
 
@@ -256,6 +276,48 @@ func (c *Client) attempt(ctx context.Context, op string,
 // ("closed", "half_open", "open") for diagnostics.
 func (c *Client) BreakerState() string { return c.brk.State().String() }
 
+// base returns the base URL for the next attempt, consulting the
+// resolver when one is configured.
+func (c *Client) base() string {
+	if c.resolver != nil {
+		if u := c.resolver(); u != "" {
+			return u
+		}
+	}
+	return c.baseURL
+}
+
+// SetLocationHint attaches the device's position to subsequent model,
+// refresh, and retrain requests as lat/lon query parameters. Against a
+// single dbserver the extra parameters are ignored; against a cluster
+// gateway they select the geo-cell — and therefore the shard — the
+// request routes to, which is what makes one download cover the device's
+// own neighborhood (the paper's locality argument, applied to routing).
+func (c *Client) SetLocationHint(p geo.Point) {
+	c.mu.Lock()
+	c.hint, c.hasHint = p, true
+	c.mu.Unlock()
+}
+
+// ClearLocationHint removes the routing hint (e.g. on losing a fix).
+func (c *Client) ClearLocationHint() {
+	c.mu.Lock()
+	c.hasHint = false
+	c.mu.Unlock()
+}
+
+// hintQuery renders the routing hint as query parameters, or "".
+func (c *Client) hintQuery() string {
+	c.mu.Lock()
+	p, ok := c.hint, c.hasHint
+	c.mu.Unlock()
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("&lat=%s&lon=%s",
+		strconv.FormatFloat(p.Lat, 'f', -1, 64), strconv.FormatFloat(p.Lon, 'f', -1, 64))
+}
+
 // Model returns the detection model for a channel/sensor, downloading it
 // on first use. See ModelCtx.
 func (c *Client) Model(ch rfenv.Channel, kind sensor.Kind) (*core.Model, int, error) {
@@ -341,7 +403,6 @@ func (c *Client) stale(key cacheKey) (*core.Model, bool) {
 // descriptor and installs it in the cache. Unreadable or undecodable
 // bodies (a flaky or tampering path) are retried like transport errors.
 func (c *Client) fetch(ctx context.Context, key cacheKey, etag string) (*core.Model, int, error) {
-	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", c.baseURL, int(key.ch), int(key.kind))
 	var (
 		model    *core.Model
 		n        int
@@ -349,6 +410,8 @@ func (c *Client) fetch(ctx context.Context, key cacheKey, etag string) (*core.Mo
 	)
 	err := c.do(ctx, "fetch model",
 		func(actx context.Context) (*http.Request, error) {
+			url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d%s",
+				c.base(), int(key.ch), int(key.kind), c.hintQuery())
 			req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 			if err != nil {
 				return nil, err
@@ -390,10 +453,11 @@ func (c *Client) fetch(ctx context.Context, key cacheKey, etag string) (*core.Mo
 				return &retryableError{err: fmt.Errorf("client: decode model: %w", err)}
 			}
 			entry := cached{
-				model:   m,
-				version: resp.Header.Get("X-Waldo-Model-Version"),
-				etag:    resp.Header.Get("ETag"),
-				bytes:   len(raw),
+				model:          m,
+				version:        resp.Header.Get("X-Waldo-Model-Version"),
+				etag:           resp.Header.Get("ETag"),
+				bytes:          len(raw),
+				clusterVersion: resp.Header.Get(clusterVersionHeader),
 			}
 			c.mu.Lock()
 			c.cache[key] = entry
@@ -423,6 +487,21 @@ func (c *Client) CachedModelVersion(ch rfenv.Channel, kind sensor.Kind) string {
 		return ""
 	}
 	return hit.version
+}
+
+// CachedClusterVersion returns the cluster routing-configuration
+// fingerprint that accompanied the cached descriptor (the gateway's
+// X-Waldo-Cluster-Version), or "" when nothing is cached or the model
+// came from a standalone dbserver. A fleet that sees this change knows
+// the cluster was re-ringed and cached placements may be stale.
+func (c *Client) CachedClusterVersion(ch rfenv.Channel, kind sensor.Kind) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hit, ok := c.cache[cacheKey{ch, kind}]
+	if !ok {
+		return ""
+	}
+	return hit.clusterVersion
 }
 
 // Invalidate drops a cached model (e.g. after leaving the area).
@@ -460,7 +539,7 @@ func (c *Client) UploadCtx(ctx context.Context, batch core.UploadBatch) error {
 	err = c.do(ctx, "upload",
 		func(actx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(actx, http.MethodPost,
-				c.baseURL+"/v1/readings", bytes.NewReader(body))
+				c.base()+"/v1/readings", bytes.NewReader(body))
 			if err != nil {
 				return nil, err
 			}
@@ -492,9 +571,10 @@ func (c *Client) RequestRetrain(ch rfenv.Channel, kind sensor.Kind) error {
 // RequestRetrainCtx asks the database to rebuild one model, retrying
 // transient failures.
 func (c *Client) RequestRetrainCtx(ctx context.Context, ch rfenv.Channel, kind sensor.Kind) error {
-	url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", c.baseURL, int(ch), int(kind))
 	return c.do(ctx, "retrain",
 		func(actx context.Context) (*http.Request, error) {
+			url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d%s",
+				c.base(), int(ch), int(kind), c.hintQuery())
 			return http.NewRequestWithContext(actx, http.MethodPost, url, nil)
 		},
 		func(resp *http.Response) error {

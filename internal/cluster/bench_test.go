@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchUpload measures one upload round-trip per iteration against url,
+// reusing one keep-alive client so both variants pay identical transport
+// setup.
+func benchUpload(b *testing.B, httpc *http.Client, url string, body []byte) {
+	b.Helper()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			b.Fatalf("upload = %s", resp.Status)
+		}
+	}
+}
+
+// BenchmarkUploadDirect is the baseline: a 50-reading batch POSTed
+// straight at a single shard node.
+func BenchmarkUploadDirect(b *testing.B) {
+	_, ts := newTestNode(b, "direct", nil)
+	body := uploadBody(b, synthReadings(50, 47, 1))
+	benchUpload(b, ts.Client(), ts.URL+"/v1/readings", body)
+}
+
+// BenchmarkUploadViaGateway is the same batch through the gateway's
+// decode-first-reading → route → forward path. The acceptance bar for
+// the cluster tier is < 2× BenchmarkUploadDirect per op.
+func BenchmarkUploadViaGateway(b *testing.B) {
+	_, ts := newTestNode(b, "s0", nil)
+	gw, err := NewGateway(GatewayConfig{
+		Shards: []ShardSpec{{ID: "s0", URLs: []string{ts.URL}}},
+		Ring:   RingConfig{Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+	body := uploadBody(b, synthReadings(50, 47, 1))
+	benchUpload(b, gwTS.Client(), gwTS.URL+"/v1/readings", body)
+}
+
+// BenchmarkRingOwner prices one routing decision (the per-request cost
+// the gateway adds before any I/O).
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("shard-%d", i)
+	}
+	ring, err := NewRing(RingConfig{Seed: 1}, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := testKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(keys[i%len(keys)]) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkFrameEncode prices serializing a 256-reading append frame for
+// the replication shipper.
+func BenchmarkFrameEncode(b *testing.B) {
+	rec := replRecord{kind: frameAppend, ch: 47, sensor: 1, readings: synthReadings(256, 47, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := appendFrame(nil, uint64(i)+1, &rec)
+		if len(buf) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}

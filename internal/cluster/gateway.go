@@ -1,0 +1,629 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// ClusterVersionHeader carries the gateway's routing-configuration
+// fingerprint (see ConfigVersion) on every proxied response. Clients
+// cache it next to model descriptors to notice a re-ringed cluster.
+const ClusterVersionHeader = "X-Waldo-Cluster-Version"
+
+// ShardSpec names one shard and its endpoints, primary first, replicas
+// after. The gateway sends traffic to the first endpoint it believes is
+// alive, in list order.
+type ShardSpec struct {
+	ID   string
+	URLs []string
+}
+
+// GatewayConfig configures the client-facing routing tier.
+type GatewayConfig struct {
+	// Shards is the cluster membership. Ring placement is keyed by
+	// ShardSpec.ID, so IDs — not URLs — decide data ownership, and an
+	// endpoint can move without migrating data.
+	Shards []ShardSpec
+
+	// Ring parameterizes placement. Every gateway for a cluster must use
+	// the same RingConfig or they will disagree about ownership.
+	Ring RingConfig
+
+	// CellDeg is the geo-cell quantum for routing. 0 means DefaultCellDeg.
+	CellDeg float64
+
+	// HTTPClient carries gateway→shard traffic. nil means a dedicated
+	// keep-alive client with a 10s timeout.
+	HTTPClient *http.Client
+
+	// Metrics receives the waldo_cluster_* gateway series. nil means a
+	// private registry.
+	Metrics *telemetry.Registry
+
+	// ProbeInterval enables a background health prober that advances a
+	// shard's active endpoint when it stops answering, so failover does
+	// not wait for live traffic to trip over the corpse. 0 disables it;
+	// per-request failover still applies.
+	ProbeInterval time.Duration
+
+	// MaxBodyBytes caps buffered upload bodies. 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// shardState is one shard's routing state: its spec plus the index of
+// the endpoint currently receiving traffic. Failover is sticky — the
+// active index only ever advances (mod len) when the current endpoint
+// fails, never snaps back on its own — so a flapping primary cannot
+// ping-pong writes between endpoints.
+type shardState struct {
+	spec ShardSpec
+
+	mu     sync.Mutex
+	active int
+
+	requests *telemetry.Counter
+	errs     *telemetry.Counter
+}
+
+// currentURL returns the endpoint receiving this shard's traffic.
+func (s *shardState) currentURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spec.URLs[s.active]
+}
+
+// markFailed advances past url if it is still the active endpoint
+// (concurrent failures of the same endpoint coalesce to one advance).
+// Reports whether it advanced.
+func (s *shardState) markFailed(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spec.URLs[s.active] != url {
+		return false
+	}
+	s.active = (s.active + 1) % len(s.spec.URLs)
+	return true
+}
+
+// Gateway terminates the WSD client API and routes every request to the
+// shard owning its (channel, geo-cell) key, failing over to replicas
+// when a primary stops answering. Cross-shard reads (/v1/stats) and
+// cluster-wide commands (hintless /v1/retrain, /v1/admin/snapshot) fan
+// out to every shard and merge.
+type Gateway struct {
+	cfg     GatewayConfig
+	ring    *Ring
+	shards  map[string]*shardState
+	version string
+	httpc   *http.Client
+
+	metrics   *telemetry.Registry
+	failovers *telemetry.Counter
+
+	handler http.Handler
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewGateway validates the topology, builds the ring, and starts the
+// optional health prober. Call Close to stop it.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one shard")
+	}
+	if cfg.CellDeg <= 0 {
+		cfg.CellDeg = DefaultCellDeg
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.New()
+	}
+	ids := make([]string, 0, len(cfg.Shards))
+	shards := make(map[string]*shardState, len(cfg.Shards))
+	for _, spec := range cfg.Shards {
+		if spec.ID == "" || len(spec.URLs) == 0 {
+			return nil, fmt.Errorf("cluster: shard spec needs an ID and at least one URL")
+		}
+		if _, dup := shards[spec.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard ID %q", spec.ID)
+		}
+		ids = append(ids, spec.ID)
+		shards[spec.ID] = &shardState{
+			spec: spec,
+			requests: cfg.Metrics.Counter("waldo_cluster_requests_total",
+				"Client requests routed to this shard (fan-out legs count once per shard).",
+				"shard", spec.ID),
+			errs: cfg.Metrics.Counter("waldo_cluster_proxy_errors_total",
+				"Transport-level failures talking to this shard's endpoints.", "shard", spec.ID),
+		}
+	}
+	ring, err := NewRing(cfg.Ring, ids)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ring:    ring,
+		shards:  shards,
+		version: ConfigVersion(cfg.Ring.Seed, ring.VNodes(), cfg.CellDeg, cfg.Shards),
+		httpc:   cfg.HTTPClient,
+		metrics: cfg.Metrics,
+		failovers: cfg.Metrics.Counter("waldo_cluster_failover_total",
+			"Times the gateway advanced a shard's active endpoint after failures."),
+		stopc: make(chan struct{}),
+	}
+	cfg.Metrics.Gauge("waldo_cluster_ring_nodes",
+		"Shards on the consistent-hash ring.").Set(float64(len(ids)))
+	cfg.Metrics.Gauge("waldo_cluster_ring_vnodes",
+		"Virtual nodes per shard on the ring.").Set(float64(ring.VNodes()))
+	g.handler = g.buildHandler()
+	if cfg.ProbeInterval > 0 {
+		g.wg.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Close stops the background prober (if any).
+func (g *Gateway) Close() error {
+	close(g.stopc)
+	g.wg.Wait()
+	return nil
+}
+
+// ConfigVersion returns the routing-configuration fingerprint stamped on
+// proxied responses.
+func (g *Gateway) ConfigVersion() string { return g.version }
+
+// Ring exposes the placement ring (for tests and operator tooling).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Failovers reports how many times the gateway advanced a shard's active
+// endpoint away from a failed one.
+func (g *Gateway) Failovers() uint64 { return g.failovers.Value() }
+
+// Handler serves the gateway HTTP surface.
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+func (g *Gateway) buildHandler() http.Handler {
+	m := g.metrics
+	mux := http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, m.WrapRoute(label, h))
+	}
+	route("GET /v1/health", "/v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	route("GET /healthz", "/healthz", g.handleHealthz)
+	route("GET /v1/model", "/v1/model", g.handleKeyed)
+	route("GET /v1/export", "/v1/export", g.handleKeyed)
+	route("POST /v1/readings", "/v1/readings", g.handleReadings)
+	route("POST /v1/retrain", "/v1/retrain", g.handleRetrain)
+	route("GET /v1/stats", "/v1/stats", g.handleStats)
+	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", g.handleBroadcastAdmin)
+	mux.Handle("GET /metrics", m.Handler())
+	return mux
+}
+
+// routeKey derives the placement key from a request's channel and
+// optional lat/lon routing hints. Requests without a location hint fall
+// into the channel's origin cell — legal, but they only see that one
+// shard's slice of the channel, so clients that care attach hints (see
+// client.SetLocationHint).
+func (g *Gateway) routeKey(q map[string][]string) (RouteKey, error) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	ch, err := strconv.Atoi(get("channel"))
+	if err != nil {
+		return RouteKey{}, fmt.Errorf("bad channel: %q", get("channel"))
+	}
+	key := RouteKey{Channel: rfenv.Channel(ch)}
+	if latS, lonS := get("lat"), get("lon"); latS != "" || lonS != "" {
+		lat, errLat := strconv.ParseFloat(latS, 64)
+		lon, errLon := strconv.ParseFloat(lonS, 64)
+		if errLat != nil || errLon != nil {
+			return RouteKey{}, fmt.Errorf("bad lat/lon hint: %q,%q", latS, lonS)
+		}
+		key.Cell = CellOf(geo.Point{Lat: lat, Lon: lon}, g.cfg.CellDeg)
+	}
+	return key, nil
+}
+
+// shardFor returns the owning shard's state.
+func (g *Gateway) shardFor(key RouteKey) *shardState {
+	return g.shards[g.ring.Owner(key)]
+}
+
+// handleKeyed proxies a single-key GET (model, export) to the owning
+// shard.
+func (g *Gateway) handleKeyed(w http.ResponseWriter, r *http.Request) {
+	key, err := g.routeKey(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g.forward(w, r, g.shardFor(key), nil)
+}
+
+// handleReadings routes an upload by peeking at the first reading's
+// channel and location, then forwards the raw body untouched. Only
+// readings[0] is decoded: the dbserver already rejects mixed-key
+// batches, so the first reading determines the whole batch's shard.
+func (g *Gateway) handleReadings(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	first, err := peekFirstReading(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := RouteKey{
+		Channel: rfenv.Channel(first.Channel),
+		Cell:    CellOf(geo.Point{Lat: first.Lat, Lon: first.Lon}, g.cfg.CellDeg),
+	}
+	g.forward(w, r, g.shardFor(key), body)
+}
+
+// peekReading is the slice of an uploaded reading the router cares about.
+type peekReading struct {
+	Channel int     `json:"channel"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+}
+
+// peekFirstReading streams JSON tokens just far enough to pull readings[0]
+// out of an upload body, without materializing the rest of the batch.
+func peekFirstReading(body []byte) (peekReading, error) {
+	var first peekReading
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return first, errors.New("upload is not a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return first, err
+		}
+		if key, _ := keyTok.(string); key == "readings" {
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+				return first, errors.New("readings is not an array")
+			}
+			if !dec.More() {
+				return first, errors.New("upload holds no readings")
+			}
+			if err := dec.Decode(&first); err != nil {
+				return first, fmt.Errorf("bad reading: %w", err)
+			}
+			return first, nil
+		}
+		var skip json.RawMessage
+		if err := dec.Decode(&skip); err != nil {
+			return first, err
+		}
+	}
+	return first, errors.New("upload holds no readings")
+}
+
+// handleRetrain routes to one shard when the request carries a location
+// hint; without one it broadcasts, because the channel's readings are
+// spread across the ring and "retrain channel N" means everywhere.
+func (g *Gateway) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if len(q["lat"]) > 0 || len(q["lon"]) > 0 {
+		key, err := g.routeKey(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		g.forward(w, r, g.shardFor(key), nil)
+		return
+	}
+	// Broadcast: a shard with no data for this channel answers 404, which
+	// is a normal outcome of partitioning, not a fan-out failure.
+	results := g.fanout(r, nil)
+	ok := 0
+	for _, res := range results {
+		if res.Status/100 == 2 {
+			ok++
+		} else if res.Status != http.StatusNotFound {
+			ok = -len(results) // force failure below
+		}
+	}
+	w.Header().Set(ClusterVersionHeader, g.version)
+	w.Header().Set("Content-Type", "application/json")
+	if ok <= 0 {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	json.NewEncoder(w).Encode(results) //nolint:errcheck // client went away
+}
+
+// handleBroadcastAdmin fans an admin command (snapshot) to every shard.
+func (g *Gateway) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
+	results := g.fanout(r, nil)
+	allOK := true
+	for _, res := range results {
+		if res.Status/100 != 2 {
+			allOK = false
+		}
+	}
+	w.Header().Set(ClusterVersionHeader, g.version)
+	w.Header().Set("Content-Type", "application/json")
+	if !allOK {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	json.NewEncoder(w).Encode(results) //nolint:errcheck // client went away
+}
+
+// handleStats fans /v1/stats to every shard and merges the per-store
+// entries: reading counts and model bytes sum across shards, the model
+// version reported is the maximum (shards train independently, so
+// versions are per-shard; the max is the freshest anywhere).
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	results := g.fanout(r, nil)
+	type statKey struct{ ch, sensor int }
+	merged := make(map[statKey]*dbserver.StatsJSON)
+	for _, res := range results {
+		if res.Status/100 != 2 {
+			http.Error(w, fmt.Sprintf("shard %s: status %d", res.Shard, res.Status), http.StatusBadGateway)
+			return
+		}
+		var entries []dbserver.StatsJSON
+		if err := json.Unmarshal(res.Body, &entries); err != nil {
+			http.Error(w, fmt.Sprintf("shard %s: %v", res.Shard, err), http.StatusBadGateway)
+			return
+		}
+		for _, e := range entries {
+			k := statKey{e.Channel, e.Sensor}
+			m := merged[k]
+			if m == nil {
+				e := e
+				merged[k] = &e
+				continue
+			}
+			m.Readings += e.Readings
+			m.ModelBytes += e.ModelBytes
+			if e.ModelVersion > m.ModelVersion {
+				m.ModelVersion = e.ModelVersion
+			}
+		}
+	}
+	keys := make([]statKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ch != keys[j].ch {
+			return keys[i].ch < keys[j].ch
+		}
+		return keys[i].sensor < keys[j].sensor
+	})
+	out := make([]dbserver.StatsJSON, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *merged[k])
+	}
+	w.Header().Set(ClusterVersionHeader, g.version)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // client went away
+}
+
+// FanoutResult is one shard's leg of a broadcast, as reported to the
+// client.
+type FanoutResult struct {
+	Shard  string          `json:"shard"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// fanout sends the request to every shard in parallel (with the same
+// per-shard failover as single-key routing) and collects the legs in
+// shard-ID order.
+func (g *Gateway) fanout(r *http.Request, body []byte) []FanoutResult {
+	ids := g.ring.Nodes()
+	results := make([]FanoutResult, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			results[i] = g.tryShard(r, sh, body)
+		}(i, g.shards[id])
+	}
+	wg.Wait()
+	return results
+}
+
+// tryShard runs one shard leg of a fan-out, with endpoint failover, and
+// buffers the response.
+func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutResult {
+	sh.requests.Inc()
+	res := FanoutResult{Shard: sh.spec.ID}
+	for attempt := 0; attempt < len(sh.spec.URLs); attempt++ {
+		url := sh.currentURL()
+		resp, err := g.shardDo(r, url, body)
+		if err != nil {
+			sh.errs.Inc()
+			res.Error = err.Error()
+			if sh.markFailed(url) {
+				g.failovers.Inc()
+			}
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+		resp.Body.Close()
+		if err != nil {
+			sh.errs.Inc()
+			res.Error = err.Error()
+			if sh.markFailed(url) {
+				g.failovers.Inc()
+			}
+			continue
+		}
+		res.Status = resp.StatusCode
+		res.Error = ""
+		if json.Valid(data) {
+			res.Body = data
+		} else if len(data) > 0 {
+			quoted, _ := json.Marshal(string(data))
+			res.Body = quoted
+		}
+		return res
+	}
+	res.Status = http.StatusBadGateway
+	return res
+}
+
+// shardDo issues the proxied request to one endpoint.
+func (g *Gateway) shardDo(r *http.Request, url string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url+r.URL.Path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.URL.RawQuery = r.URL.RawQuery
+	for _, h := range []string{"Content-Type", "If-None-Match", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	return g.httpc.Do(req)
+}
+
+// forward proxies a single-key request to a shard, streaming the
+// response through. On a transport failure it advances the shard's
+// active endpoint and retries the next one in the same request, so a
+// client upload racing a primary kill lands on the replica instead of
+// erroring — the zero-lost-acks path the chaos harness exercises.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, sh *shardState, body []byte) {
+	sh.requests.Inc()
+	if body == nil && r.Method != http.MethodGet && r.Method != http.MethodHead && r.Body != nil {
+		// Buffer mutation bodies so a failover retry can resend them.
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		body = data
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(sh.spec.URLs); attempt++ {
+		url := sh.currentURL()
+		resp, err := g.shardDo(r, url, body)
+		if err != nil {
+			sh.errs.Inc()
+			lastErr = err
+			if sh.markFailed(url) {
+				g.failovers.Inc()
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		for _, h := range []string{"Content-Type", "ETag", "X-Waldo-Model-Version", "Retry-After"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set(ClusterVersionHeader, g.version)
+		w.Header().Set("X-Waldo-Shard", sh.spec.ID)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck // client went away
+		return
+	}
+	w.Header().Set(ClusterVersionHeader, g.version)
+	http.Error(w, fmt.Sprintf("shard %s unavailable: %v", sh.spec.ID, lastErr), http.StatusBadGateway)
+}
+
+// healthzShard is one shard's row in the gateway's /healthz payload.
+type healthzShard struct {
+	ID     string   `json:"id"`
+	URLs   []string `json:"urls"`
+	Active string   `json:"active"`
+}
+
+// handleHealthz reports the gateway's own topology view: ring shape,
+// config version, and which endpoint each shard's traffic currently
+// targets — the first place to look when failover fired.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ids := g.ring.Nodes()
+	out := struct {
+		ClusterVersion string         `json:"cluster_version"`
+		RingNodes      int            `json:"ring_nodes"`
+		RingVNodes     int            `json:"ring_vnodes"`
+		CellDeg        float64        `json:"cell_deg"`
+		Shards         []healthzShard `json:"shards"`
+	}{
+		ClusterVersion: g.version,
+		RingNodes:      len(ids),
+		RingVNodes:     g.ring.VNodes(),
+		CellDeg:        g.cfg.CellDeg,
+	}
+	for _, id := range ids {
+		sh := g.shards[id]
+		out.Shards = append(out.Shards, healthzShard{
+			ID:     id,
+			URLs:   sh.spec.URLs,
+			Active: sh.currentURL(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // client went away
+}
+
+// probeLoop periodically hits each shard's active endpoint's health
+// probe and advances past endpoints that stop answering, so failover
+// happens even on an idle gateway.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopc:
+			return
+		case <-t.C:
+			for _, id := range g.ring.Nodes() {
+				sh := g.shards[id]
+				url := sh.currentURL()
+				resp, err := g.httpc.Get(url + "/v1/health")
+				if err != nil {
+					sh.errs.Inc()
+					if sh.markFailed(url) {
+						g.failovers.Inc()
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for keep-alive
+				resp.Body.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+// synthAt clusters n readings within ~400 m of loc, so the whole batch
+// shares one routing cell at any reasonable cell quantum.
+func synthAt(n int, ch rfenv.Channel, seed int64, loc geo.Point) []dataset.Reading {
+	rs := synthReadings(n, ch, seed)
+	for i := range rs {
+		rs[i].Loc = loc.Offset(float64(i*37%360), float64(i%40)*10)
+	}
+	return rs
+}
+
+// testCluster is a 3-shard single-node-per-shard topology behind one
+// gateway, each piece on its own httptest server.
+type testCluster struct {
+	gw      *Gateway
+	gwTS    *httptest.Server
+	nodes   map[string]*Node
+	nodeTS  map[string]*httptest.Server
+	cellDeg float64
+}
+
+func newTestCluster(t *testing.T, shardIDs []string) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		nodes:   map[string]*Node{},
+		nodeTS:  map[string]*httptest.Server{},
+		cellDeg: DefaultCellDeg,
+	}
+	var specs []ShardSpec
+	for _, id := range shardIDs {
+		n, ts := newTestNode(t, id, nil)
+		tc.nodes[id] = n
+		tc.nodeTS[id] = ts
+		specs = append(specs, ShardSpec{ID: id, URLs: []string{ts.URL}})
+	}
+	gw, err := NewGateway(GatewayConfig{Shards: specs, Ring: RingConfig{Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.gw = gw
+	tc.gwTS = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		tc.gwTS.Close()
+		gw.Close()
+	})
+	return tc
+}
+
+// locations returns one probe location per shard: points 6 km apart
+// east of the metro center, each quantizing to its own cell, mapped to
+// whichever shard the ring says owns it, until every shard is covered.
+func (tc *testCluster) locations(t *testing.T, ch rfenv.Channel) map[string]geo.Point {
+	t.Helper()
+	out := map[string]geo.Point{}
+	for i := 0; i < 200 && len(out) < len(tc.nodes); i++ {
+		loc := rfenv.MetroCenter.Offset(90, float64(i)*6000)
+		owner := tc.gw.Ring().Owner(RouteKey{Channel: ch, Cell: CellOf(loc, tc.cellDeg)})
+		if _, seen := out[owner]; !seen {
+			out[owner] = loc
+		}
+	}
+	if len(out) < len(tc.nodes) {
+		t.Fatalf("probe walk covered only %d of %d shards", len(out), len(tc.nodes))
+	}
+	return out
+}
+
+// TestGatewayRoutesByCell uploads one batch per shard-owned cell through
+// the gateway and checks each landed on exactly the ring-designated
+// shard.
+func TestGatewayRoutesByCell(t *testing.T) {
+	tc := newTestCluster(t, []string{"s0", "s1", "s2"})
+	locs := tc.locations(t, 47)
+	for owner, loc := range locs {
+		resp := mustPost(t, tc.gwTS.URL+"/v1/readings", uploadBody(t, synthAt(50, 47, 1, loc)))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload for %s = %s", owner, resp.Status)
+		}
+	}
+	for id, ts := range tc.nodeTS {
+		body := mustGetBody(t, ts.URL+"/v1/export?channel=47&sensor=1", http.StatusOK)
+		rows := len(body)
+		if rows == 0 {
+			t.Errorf("shard %s: empty export", id)
+		}
+		var stats []dbserver.StatsJSON
+		if err := json.Unmarshal(mustGetBody(t, ts.URL+"/v1/stats", http.StatusOK), &stats); err != nil {
+			t.Fatal(err)
+		}
+		if len(stats) != 1 || stats[0].Readings != 50 {
+			t.Errorf("shard %s holds %+v, want exactly its own 50-reading batch", id, stats)
+		}
+	}
+
+	// A model GET with the same location hint must route to the same
+	// shard (checked via the X-Waldo-Shard response header).
+	for owner, loc := range locs {
+		url := tc.gwTS.URL + "/v1/export?channel=47&sensor=1&lat=" +
+			strconv.FormatFloat(loc.Lat, 'f', -1, 64) + "&lon=" + strconv.FormatFloat(loc.Lon, 'f', -1, 64)
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Waldo-Shard"); got != owner {
+			t.Errorf("hinted export routed to %q, want %q", got, owner)
+		}
+		if v := resp.Header.Get(ClusterVersionHeader); v != tc.gw.ConfigVersion() {
+			t.Errorf("cluster version header %q, want %q", v, tc.gw.ConfigVersion())
+		}
+	}
+}
+
+// TestGatewayStatsMerge checks the cross-shard read path: per-shard
+// reading counts sum, and the reported model version is the freshest.
+func TestGatewayStatsMerge(t *testing.T) {
+	tc := newTestCluster(t, []string{"s0", "s1", "s2"})
+	locs := tc.locations(t, 47)
+	for _, loc := range locs {
+		resp := mustPost(t, tc.gwTS.URL+"/v1/readings", uploadBody(t, synthAt(300, 47, 2, loc)))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload = %s", resp.Status)
+		}
+	}
+	// Hintless retrain broadcasts; every shard has channel 47 data.
+	resp := mustPost(t, tc.gwTS.URL+"/v1/retrain?channel=47&sensor=1", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("broadcast retrain = %s", resp.Status)
+	}
+	var legs []FanoutResult
+	if err := json.NewDecoder(resp.Body).Decode(&legs); err != nil {
+		t.Fatal(err)
+	}
+	if len(legs) != 3 {
+		t.Fatalf("retrain fan-out touched %d shards, want 3", len(legs))
+	}
+	for _, leg := range legs {
+		if leg.Status != http.StatusOK {
+			t.Errorf("shard %s retrain = %d", leg.Shard, leg.Status)
+		}
+	}
+
+	var merged []dbserver.StatsJSON
+	if err := json.Unmarshal(mustGetBody(t, tc.gwTS.URL+"/v1/stats", http.StatusOK), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("merged stats = %+v, want one channel/sensor row", merged)
+	}
+	if merged[0].Readings != 900 {
+		t.Errorf("merged readings = %d, want 900 summed across shards", merged[0].Readings)
+	}
+	if merged[0].ModelVersion != 1 {
+		t.Errorf("merged model version = %d, want 1", merged[0].ModelVersion)
+	}
+}
+
+// TestGatewayFailover kills a shard's primary endpoint and checks the
+// same client request succeeds against the replica endpoint, that
+// failover is sticky, and that the failover counter fired.
+func TestGatewayFailover(t *testing.T) {
+	// One shard, two endpoints: a dead primary and a live replica.
+	replica, replicaTS := newTestNode(t, "s0r", nil)
+	if err := replica.DB.Bootstrap(synthReadings(600, 47, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+
+	gw, err := NewGateway(GatewayConfig{
+		Shards: []ShardSpec{{ID: "s0", URLs: []string{dead.URL, replicaTS.URL}}},
+		Ring:   RingConfig{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+
+	body := mustGetBody(t, gwTS.URL+"/v1/model?channel=47&sensor=1", http.StatusOK)
+	if len(body) == 0 {
+		t.Fatal("empty model after failover")
+	}
+	direct := mustGetBody(t, replicaTS.URL+"/v1/model?channel=47&sensor=1", http.StatusOK)
+	if string(body) != string(direct) {
+		t.Error("gateway-served model differs from replica's")
+	}
+	// Sticky: the next request goes straight to the replica endpoint.
+	if got := gw.shards["s0"].currentURL(); got != replicaTS.URL {
+		t.Errorf("active endpoint = %q, want replica %q", got, replicaTS.URL)
+	}
+	if v := gw.failovers.Value(); v < 1 {
+		t.Errorf("failover counter = %v, want ≥ 1", v)
+	}
+}
+
+// TestGatewayAllEndpointsDown: when every endpoint of the owning shard
+// refuses connections the gateway answers 502, not a hang or a crash.
+func TestGatewayAllEndpointsDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	gw, err := NewGateway(GatewayConfig{
+		Shards: []ShardSpec{{ID: "s0", URLs: []string{dead.URL}}},
+		Ring:   RingConfig{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+	mustGetBody(t, gwTS.URL+"/v1/model?channel=47&sensor=1", http.StatusBadGateway)
+}
+
+// TestConfigVersionStability: the fingerprint is stable across shard
+// order and changes when topology changes.
+func TestConfigVersionStability(t *testing.T) {
+	a := []ShardSpec{{ID: "s0", URLs: []string{"http://a"}}, {ID: "s1", URLs: []string{"http://b"}}}
+	b := []ShardSpec{a[1], a[0]}
+	if ConfigVersion(1, 128, 0.05, a) != ConfigVersion(1, 128, 0.05, b) {
+		t.Error("fingerprint depends on shard order")
+	}
+	grown := append(append([]ShardSpec(nil), a...), ShardSpec{ID: "s2", URLs: []string{"http://c"}})
+	if ConfigVersion(1, 128, 0.05, a) == ConfigVersion(1, 128, 0.05, grown) {
+		t.Error("fingerprint misses a membership change")
+	}
+	if ConfigVersion(1, 128, 0.05, a) == ConfigVersion(2, 128, 0.05, a) {
+		t.Error("fingerprint misses a seed change")
+	}
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// NodeConfig configures one shard process.
+type NodeConfig struct {
+	// ID names the shard (matches the gateway's ShardSpec.ID). Used in
+	// status output only; routing never depends on it at the node.
+	ID string
+
+	// DB is the embedded spectrum DB configuration, passed to
+	// dbserver.Open unchanged except for the replication tap. Set DataDir
+	// there for WAL durability exactly as on a standalone server.
+	DB dbserver.Config
+
+	// ReplicaURLs lists this node's replicas (base URLs). Empty means the
+	// node is a replica itself, or an unreplicated primary: either way no
+	// shipper runs.
+	ReplicaURLs []string
+
+	// ShipInterval is the replication shipping tick. 0 means 3ms — small
+	// enough that steady-state lag is a handful of batches.
+	ShipInterval time.Duration
+
+	// MaxShipRecords caps journal records per replication exchange.
+	// 0 means 256.
+	MaxShipRecords int
+
+	// HTTPClient ships replication traffic. nil means a dedicated client
+	// with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// Node is one shard: the full dbserver API plus the replication surface
+// (/v1/repl/apply for its primary's stream, /v1/repl/status for
+// operators) and, when it has replicas, a background log shipper.
+type Node struct {
+	cfg  NodeConfig
+	DB   *dbserver.Server
+	repl *Replicator // nil when no replicas
+
+	// applyMu serializes replicated-frame application; applied is the
+	// contiguous high-water mark of the primary's sequence numbers.
+	applyMu      sync.Mutex
+	applied      uint64
+	appliedTotal *telemetry.Counter
+
+	closeOnce sync.Once
+	handler   http.Handler
+}
+
+// OpenNode opens the embedded DB (recovering from its data dir like
+// dbserver.Open) and starts the replication shipper if replicas are
+// configured.
+func OpenNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = 3 * time.Millisecond
+	}
+	if cfg.MaxShipRecords <= 0 {
+		cfg.MaxShipRecords = 256
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.DB.Metrics == nil {
+		cfg.DB.Metrics = telemetry.New()
+	}
+	n := &Node{cfg: cfg}
+	n.appliedTotal = cfg.DB.Metrics.Counter("waldo_cluster_replication_applied_total",
+		"Replicated journal records applied by this node (replica role).")
+	if len(cfg.ReplicaURLs) > 0 {
+		n.repl = newReplicator(cfg.ReplicaURLs, cfg.HTTPClient, cfg.ShipInterval,
+			cfg.MaxShipRecords, cfg.DB.Metrics)
+		if cfg.DB.Tap != nil {
+			return nil, fmt.Errorf("cluster: NodeConfig.DB.Tap is owned by the replicator")
+		}
+		cfg.DB.Tap = n.repl
+	}
+	db, err := dbserver.Open(cfg.DB)
+	if err != nil {
+		return nil, err
+	}
+	n.DB = db
+	if n.repl != nil {
+		n.repl.start()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repl/apply", n.handleApply)
+	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
+	mux.Handle("/", db.Handler())
+	n.handler = mux
+	return n, nil
+}
+
+// Handler serves the shard's full HTTP surface.
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// ReplicationLag returns the worst-case number of journal records not
+// yet confirmed by a replica (0 when the node ships nothing).
+func (n *Node) ReplicationLag() int {
+	if n.repl == nil {
+		return 0
+	}
+	return int(n.repl.Lag())
+}
+
+// Drain blocks until all replicas have confirmed the full journal.
+func (n *Node) Drain(ctx context.Context) error {
+	if n.repl == nil {
+		return nil
+	}
+	return n.repl.Drain(ctx)
+}
+
+// Close stops the shipper (unshipped tail stays in the primary's WAL —
+// see DESIGN.md §12 on the failover model) and closes the embedded DB.
+// Safe to call more than once: crash harnesses kill nodes mid-run and
+// their cleanup paths close everything again.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		if n.repl != nil {
+			n.repl.stop()
+		}
+		err = n.DB.Close()
+	})
+	return err
+}
+
+// handleApply folds a batch of replication frames from this node's
+// primary into the local stores. Frames at or below the applied mark are
+// skipped (retry idempotency); a gap above it means the primary and
+// replica disagree about history, answered with 409 and the replica's
+// mark so the primary can re-ship from there.
+func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	status := http.StatusOK
+	var applyErr string
+	for len(body) > 0 {
+		seq, rec, rest, err := decodeFrame(body)
+		if err != nil {
+			status, applyErr = http.StatusBadRequest, err.Error()
+			break
+		}
+		body = rest
+		if seq <= n.applied {
+			continue
+		}
+		if seq != n.applied+1 {
+			status = http.StatusConflict
+			applyErr = fmt.Sprintf("sequence gap: applied %d, got %d", n.applied, seq)
+			break
+		}
+		switch rec.kind {
+		case frameAppend:
+			err = n.DB.ApplyReplicatedReadings(rec.ch, rec.sensor, rec.readings)
+		case frameRetrain:
+			err = n.DB.ApplyReplicatedRetrain(rec.ch, rec.sensor, rec.version, rec.trained)
+		}
+		if err != nil {
+			status, applyErr = http.StatusInternalServerError, err.Error()
+			break
+		}
+		n.applied = seq
+		n.appliedTotal.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.Header().Set("X-Waldo-Repl-Error", applyErr)
+		w.WriteHeader(status)
+	}
+	json.NewEncoder(w).Encode(applyStatus{Applied: n.applied}) //nolint:errcheck // client went away
+}
+
+// nodeStatus is the /v1/repl/status payload.
+type nodeStatus struct {
+	ID      string `json:"id"`
+	Applied uint64 `json:"applied"` // frames folded in as a replica
+	Lag     int    `json:"lag"`     // records unconfirmed by own replicas
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.applyMu.Lock()
+	applied := n.applied
+	n.applyMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(nodeStatus{ //nolint:errcheck // client went away
+		ID:      n.cfg.ID,
+		Applied: applied,
+		Lag:     n.ReplicationLag(),
+	})
+}

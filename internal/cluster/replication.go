@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// Replication wire format. The primary ships its journal stream — the
+// same mutation order the WAL persists — as length-prefixed frames over
+// HTTP POST /v1/repl/apply. Reading batches reuse the stable 67-byte
+// binary reading codec from internal/core, so the replication path and
+// the durability path serialize measurements identically.
+//
+//	frame    := u32 length | u64 seq | u8 kind | payload
+//	append   := u16 channel | u8 sensor | u32 count | count × 67-byte readings
+//	retrain  := u16 channel | u8 sensor | u32 version | u32 trainedCount
+//
+// Sequence numbers are contiguous per primary process, starting at 1.
+// The replica applies frames strictly in order, skips already-applied
+// sequence numbers (retries after a partial apply are idempotent), and
+// answers every request with its applied high-water mark, which is also
+// the primary's ack.
+const (
+	frameAppend  byte = 1
+	frameRetrain byte = 2
+
+	frameHeaderSize = 4 + 8 + 1 // length + seq + kind
+)
+
+// replRecord is one journaled mutation awaiting (or past) shipping.
+type replRecord struct {
+	kind     byte
+	ch       rfenv.Channel
+	sensor   sensor.Kind
+	readings []dataset.Reading // kind == frameAppend
+	version  int               // kind == frameRetrain
+	trained  int               // kind == frameRetrain
+}
+
+// appendFrame renders one record as a wire frame with the given sequence
+// number.
+func appendFrame(dst []byte, seq uint64, rec *replRecord) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backfilled below
+	var b [9]byte
+	binary.LittleEndian.PutUint64(b[:8], seq)
+	b[8] = rec.kind
+	dst = append(dst, b[:]...)
+	var kb [3]byte
+	binary.LittleEndian.PutUint16(kb[:2], uint16(rec.ch))
+	kb[2] = byte(rec.sensor)
+	dst = append(dst, kb[:]...)
+	switch rec.kind {
+	case frameAppend:
+		dst = core.AppendReadingsWire(dst, rec.readings)
+	case frameRetrain:
+		var v [8]byte
+		binary.LittleEndian.PutUint32(v[:4], uint32(rec.version))
+		binary.LittleEndian.PutUint32(v[4:], uint32(rec.trained))
+		dst = append(dst, v[:]...)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// decodeFrame parses one frame off the front of b, returning the
+// sequence number, the record, and the unconsumed remainder.
+func decodeFrame(b []byte) (uint64, replRecord, []byte, error) {
+	if len(b) < frameHeaderSize {
+		return 0, replRecord{}, nil, fmt.Errorf("cluster: frame truncated: %d bytes", len(b))
+	}
+	length := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+length || length < 9+3 {
+		return 0, replRecord{}, nil, fmt.Errorf("cluster: frame length %d outside body of %d bytes", length, len(b)-4)
+	}
+	body, rest := b[4:4+length], b[4+length:]
+	seq := binary.LittleEndian.Uint64(body)
+	rec := replRecord{
+		kind:   body[8],
+		ch:     rfenv.Channel(binary.LittleEndian.Uint16(body[9:])),
+		sensor: sensor.Kind(body[11]),
+	}
+	payload := body[12:]
+	switch rec.kind {
+	case frameAppend:
+		rs, tail, err := core.DecodeReadingsWire(payload)
+		if err != nil {
+			return 0, replRecord{}, nil, fmt.Errorf("cluster: frame %d: %w", seq, err)
+		}
+		if len(tail) != 0 {
+			return 0, replRecord{}, nil, fmt.Errorf("cluster: frame %d: %d trailing bytes", seq, len(tail))
+		}
+		rec.readings = rs
+	case frameRetrain:
+		if len(payload) != 8 {
+			return 0, replRecord{}, nil, fmt.Errorf("cluster: frame %d: retrain payload is %d bytes", seq, len(payload))
+		}
+		rec.version = int(binary.LittleEndian.Uint32(payload))
+		rec.trained = int(binary.LittleEndian.Uint32(payload[4:]))
+	default:
+		return 0, replRecord{}, nil, fmt.Errorf("cluster: frame %d: unknown kind %d", seq, rec.kind)
+	}
+	return seq, rec, rest, nil
+}
+
+// applyStatus is the replica's answer to every replication exchange: its
+// contiguous applied high-water mark.
+type applyStatus struct {
+	Applied uint64 `json:"applied"`
+}
+
+// replicaLink is the shipping state for one replica.
+type replicaLink struct {
+	url string
+
+	mu    sync.Mutex
+	acked uint64 // highest sequence the replica confirmed applied
+
+	lag     *telemetry.Gauge
+	shipped *telemetry.Counter
+	errs    *telemetry.Counter
+}
+
+// Replicator ships a primary's journal stream to its replicas. It
+// implements dbserver.Tap: the dbserver invokes it under each store's
+// lock in apply order, and it only appends to an in-memory log — the
+// HTTP shipping happens on one background goroutine per replica, so
+// replication never blocks the upload path (asynchronous by design; the
+// WAL, not the replica, is what an ack promises).
+//
+// The log lives for the primary process's lifetime and sequence numbers
+// restart at 1 with it, so a replica must follow a single primary
+// incarnation from its start (the failover model in DESIGN.md §12: a
+// killed primary is replaced by promoting its replica, not resumed).
+type Replicator struct {
+	httpc    *http.Client
+	interval time.Duration
+	maxBatch int
+
+	mu  sync.Mutex
+	log []replRecord
+
+	links []*replicaLink
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// newReplicator assembles the shipper; start() launches the loops.
+func newReplicator(replicaURLs []string, httpc *http.Client, interval time.Duration,
+	maxBatch int, metrics *telemetry.Registry) *Replicator {
+	r := &Replicator{
+		httpc:    httpc,
+		interval: interval,
+		maxBatch: maxBatch,
+		stopc:    make(chan struct{}),
+	}
+	for _, u := range replicaURLs {
+		r.links = append(r.links, &replicaLink{
+			url: u,
+			lag: metrics.Gauge("waldo_cluster_replication_lag_records",
+				"Journal records accepted by the primary but not yet confirmed applied by this replica.",
+				"replica", u),
+			shipped: metrics.Counter("waldo_cluster_replication_shipped_total",
+				"Journal records confirmed applied by this replica.", "replica", u),
+			errs: metrics.Counter("waldo_cluster_replication_errors_total",
+				"Failed replication exchanges with this replica (retried on the next shipping tick).",
+				"replica", u),
+		})
+	}
+	return r
+}
+
+func (r *Replicator) start() {
+	for _, link := range r.links {
+		r.wg.Add(1)
+		go r.ship(link)
+	}
+}
+
+func (r *Replicator) stop() {
+	close(r.stopc)
+	r.wg.Wait()
+}
+
+// TapReadings implements dbserver.Tap. Runs under the store lock: copy
+// and enqueue, nothing else.
+func (r *Replicator) TapReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) {
+	rec := replRecord{kind: frameAppend, ch: ch, sensor: kind,
+		readings: append([]dataset.Reading(nil), rs...)}
+	r.mu.Lock()
+	r.log = append(r.log, rec)
+	r.mu.Unlock()
+}
+
+// TapRetrain implements dbserver.Tap.
+func (r *Replicator) TapRetrain(ch rfenv.Channel, kind sensor.Kind, version, trained int) {
+	rec := replRecord{kind: frameRetrain, ch: ch, sensor: kind, version: version, trained: trained}
+	r.mu.Lock()
+	r.log = append(r.log, rec)
+	r.mu.Unlock()
+}
+
+// logLen returns the current journal length (== the highest assigned
+// sequence number).
+func (r *Replicator) logLen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint64(len(r.log))
+}
+
+// pending snapshots up to maxBatch unshipped records after acked.
+// Records are append-only, so the returned subslice is stable.
+func (r *Replicator) pending(acked uint64) (uint64, []replRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	top := uint64(len(r.log))
+	if acked >= top {
+		return top, nil
+	}
+	end := acked + uint64(r.maxBatch)
+	if end > top {
+		end = top
+	}
+	return top, r.log[acked:end]
+}
+
+// ship is one replica's shipping loop: every tick, push everything past
+// the replica's ack in maxBatch chunks until caught up or erroring
+// (errors wait for the next tick — the replica being down must not spin
+// the primary).
+func (r *Replicator) ship(link *replicaLink) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-t.C:
+			for r.shipOnce(link) {
+			}
+		}
+	}
+}
+
+// shipOnce pushes one chunk and returns true if it made progress and
+// more may be pending.
+func (r *Replicator) shipOnce(link *replicaLink) bool {
+	link.mu.Lock()
+	acked := link.acked
+	link.mu.Unlock()
+	top, recs := r.pending(acked)
+	link.lag.Set(float64(top - acked))
+	if len(recs) == 0 {
+		return false
+	}
+	var body []byte
+	for i := range recs {
+		body = appendFrame(body, acked+uint64(i)+1, &recs[i])
+	}
+	resp, err := r.httpc.Post(link.url+"/v1/repl/apply", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		link.errs.Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	var st applyStatus
+	if err := decodeJSONBody(resp.Body, &st); err != nil {
+		link.errs.Inc()
+		return false
+	}
+	if resp.StatusCode != http.StatusOK {
+		link.errs.Inc()
+	}
+	link.mu.Lock()
+	progressed := st.Applied > link.acked
+	if progressed {
+		link.shipped.Add(st.Applied - link.acked)
+	}
+	// Trust the replica's high-water mark in both directions: forward is
+	// the normal ack; backward would mean a replica reset, and
+	// re-shipping from its mark is the only way to converge.
+	link.acked = st.Applied
+	link.mu.Unlock()
+	link.lag.Set(float64(top - st.Applied))
+	return progressed && resp.StatusCode == http.StatusOK
+}
+
+// Lag returns the largest number of journal records any replica still
+// has to apply (0 with no replicas).
+func (r *Replicator) Lag() uint64 {
+	top := r.logLen()
+	var worst uint64
+	for _, link := range r.links {
+		link.mu.Lock()
+		acked := link.acked
+		link.mu.Unlock()
+		if lag := top - acked; lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// Drain blocks until every replica has confirmed the entire current
+// journal, polling between checks, or until ctx expires.
+func (r *Replicator) Drain(ctx context.Context) error {
+	for {
+		if r.Lag() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: drain: %w (lag %d records)", ctx.Err(), r.Lag())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// decodeJSONBody reads and decodes a small JSON body with a hard cap.
+func decodeJSONBody(r io.Reader, v any) error {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<16))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

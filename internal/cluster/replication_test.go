@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// synthReadings generates a classifiable corpus: strong signal east of
+// the metro center, noise west, like the dbserver tests.
+func synthReadings(n int, ch rfenv.Channel, seed int64) []dataset.Reading {
+	rng := rand.New(rand.NewSource(seed))
+	origin := rfenv.MetroCenter
+	out := make([]dataset.Reading, 0, n)
+	for i := 0; i < n; i++ {
+		loc := origin.Offset(rng.Float64()*360, rng.Float64()*10000)
+		rss := -100.0
+		if loc.Lon > origin.Lon {
+			rss = -70
+		}
+		out = append(out, dataset.Reading{
+			Seq: i, Loc: loc, Channel: ch, Sensor: sensor.KindRTLSDR,
+			Signal: features.Signal{RSSdBm: rss, CFTdB: rss - 11.3, AFTdB: rss - 13},
+		})
+	}
+	return out
+}
+
+func uploadBody(t testing.TB, rs []dataset.Reading) []byte {
+	t.Helper()
+	up := dbserver.UploadJSON{CISpanDB: 0.4}
+	for _, r := range rs {
+		up.Readings = append(up.Readings, dbserver.FromReading(r))
+	}
+	body, err := json.Marshal(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func mustPost(t testing.TB, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func mustGetBody(t testing.TB, url string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d (%s)", url, resp.StatusCode, wantStatus, data)
+	}
+	return data
+}
+
+// newTestNode opens a Node around a fresh in-memory dbserver and serves
+// it.
+func newTestNode(t testing.TB, id string, replicaURLs []string) (*Node, *httptest.Server) {
+	t.Helper()
+	n, err := OpenNode(NodeConfig{
+		ID: id,
+		DB: dbserver.Config{
+			Constructor: core.ConstructorConfig{Classifier: core.KindNB},
+		},
+		ReplicaURLs:  replicaURLs,
+		ShipInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		n.Close()
+	})
+	return n, ts
+}
+
+// TestFrameRoundTrip pins the replication wire format: append and
+// retrain frames survive encode→decode bit-exactly, including when
+// concatenated in one exchange body.
+func TestFrameRoundTrip(t *testing.T) {
+	rs := synthReadings(7, 47, 3)
+	recs := []replRecord{
+		{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs},
+		{kind: frameRetrain, ch: 47, sensor: sensor.KindRTLSDR, version: 9, trained: 607},
+	}
+	var body []byte
+	for i := range recs {
+		body = appendFrame(body, uint64(i)+1, &recs[i])
+	}
+	for i := range recs {
+		seq, got, rest, err := decodeFrame(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = rest
+		if seq != uint64(i)+1 {
+			t.Errorf("frame %d: seq %d", i, seq)
+		}
+		if !reflect.DeepEqual(got, recs[i]) {
+			t.Errorf("frame %d: decoded %+v, want %+v", i, got, recs[i])
+		}
+	}
+	if len(body) != 0 {
+		t.Errorf("%d bytes left after decoding all frames", len(body))
+	}
+	if _, _, _, err := decodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated frame decoded without error")
+	}
+}
+
+// TestReplicationPair is the core byte-identity claim: drive a primary
+// through its public HTTP API (uploads + retrain), drain the shipper,
+// and the replica must serve the byte-identical model descriptor and the
+// identical reading corpus.
+func TestReplicationPair(t *testing.T) {
+	_, replicaTS := newTestNode(t, "s0-replica", nil)
+	primary, primaryTS := newTestNode(t, "s0", []string{replicaTS.URL})
+
+	for i := 0; i < 4; i++ {
+		resp := mustPost(t, primaryTS.URL+"/v1/readings", uploadBody(t, synthReadings(200, 47, int64(i))))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload %d = %s", i, resp.Status)
+		}
+	}
+	resp := mustPost(t, primaryTS.URL+"/v1/retrain?channel=47&sensor=1", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retrain = %s", resp.Status)
+	}
+	// One more batch after the retrain: the replica must land it after
+	// the version bump, exactly like the primary did.
+	resp = mustPost(t, primaryTS.URL+"/v1/readings", uploadBody(t, synthReadings(50, 47, 99)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post-retrain upload = %s", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := primary.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{"/v1/model?channel=47&sensor=1", "/v1/export?channel=47&sensor=1"} {
+		p := mustGetBody(t, primaryTS.URL+path, http.StatusOK)
+		r := mustGetBody(t, replicaTS.URL+path, http.StatusOK)
+		if !bytes.Equal(p, r) {
+			t.Errorf("%s: primary (%d bytes) and replica (%d bytes) differ", path, len(p), len(r))
+		}
+	}
+	var st nodeStatus
+	if err := json.Unmarshal(mustGetBody(t, replicaTS.URL+"/v1/repl/status", http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 6 { // 5 uploads + 1 retrain
+		t.Errorf("replica applied %d frames, want 6", st.Applied)
+	}
+	if lag := primary.ReplicationLag(); lag != 0 {
+		t.Errorf("lag after drain = %d", lag)
+	}
+}
+
+// TestApplyIdempotencyAndGap pins the replica apply contract: re-sent
+// frames are skipped without effect, and a sequence gap is refused with
+// 409 plus the replica's high-water mark so the primary can re-ship.
+func TestApplyIdempotencyAndGap(t *testing.T) {
+	_, ts := newTestNode(t, "solo", nil)
+	rs := synthReadings(10, 47, 5)
+	var body []byte
+	body = appendFrame(body, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[:5]})
+	body = appendFrame(body, 2, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[5:]})
+
+	apply := func(b []byte) (int, applyStatus) {
+		resp := mustPost(t, ts.URL+"/v1/repl/apply", b)
+		defer resp.Body.Close()
+		var st applyStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	if code, st := apply(body); code != http.StatusOK || st.Applied != 2 {
+		t.Fatalf("first apply: %d, applied %d", code, st.Applied)
+	}
+	if code, st := apply(body); code != http.StatusOK || st.Applied != 2 {
+		t.Fatalf("replayed apply: %d, applied %d (want idempotent skip)", code, st.Applied)
+	}
+	if got := len(bytes.Split(bytes.TrimSpace(mustGetBody(t, ts.URL+"/v1/export?channel=47&sensor=1", http.StatusOK)), []byte("\n"))); got != len(rs)+1 {
+		t.Errorf("store holds %d CSV lines, want %d readings + header", got, len(rs))
+	}
+
+	gap := appendFrame(nil, 9, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[:1]})
+	if code, st := apply(gap); code != http.StatusConflict || st.Applied != 2 {
+		t.Fatalf("gap apply: %d, applied %d (want 409 with mark 2)", code, st.Applied)
+	}
+}
+
+// TestReplicatorCatchesUpAfterOutage: a replica that comes back after
+// refusing traffic receives the backlog from its last confirmed mark.
+func TestReplicatorCatchesUpAfterOutage(t *testing.T) {
+	replicaNode, replicaTS := newTestNode(t, "r", nil)
+	gate := &gatedHandler{next: replicaNode.Handler()}
+	gatedTS := httptest.NewServer(gate)
+	defer gatedTS.Close()
+	_ = replicaTS
+
+	primary, primaryTS := newTestNode(t, "p", []string{gatedTS.URL})
+
+	gate.setDown(true)
+	resp := mustPost(t, primaryTS.URL+"/v1/readings", uploadBody(t, synthReadings(100, 47, 1)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload = %s", resp.Status)
+	}
+	// The replica is down; the primary must keep serving and accrue lag.
+	deadline := time.Now().Add(5 * time.Second)
+	for primary.ReplicationLag() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if primary.ReplicationLag() == 0 {
+		t.Fatal("no replication lag while replica is down")
+	}
+	gate.setDown(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := primary.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p := mustGetBody(t, primaryTS.URL+"/v1/export?channel=47&sensor=1", http.StatusOK)
+	r := mustGetBody(t, replicaTS.URL+"/v1/export?channel=47&sensor=1", http.StatusOK)
+	if !bytes.Equal(p, r) {
+		t.Error("replica did not catch up to primary after outage")
+	}
+}
+
+// gatedHandler simulates a replica outage by refusing requests at the
+// HTTP layer.
+type gatedHandler struct {
+	mu   sync.Mutex
+	down bool
+	next http.Handler
+}
+
+func (g *gatedHandler) setDown(v bool) {
+	g.mu.Lock()
+	g.down = v
+	g.mu.Unlock()
+}
+
+func (g *gatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	down := g.down
+	g.mu.Unlock()
+	if down {
+		http.Error(w, "gate closed", http.StatusServiceUnavailable)
+		return
+	}
+	g.next.ServeHTTP(w, r)
+}

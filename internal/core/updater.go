@@ -318,6 +318,45 @@ func (u *Updater) TrainedCount() int {
 	return u.trainedCount
 }
 
+// RetrainAt rebuilds the model from the store's first trainedCount
+// readings and installs it at exactly the given version — the replication
+// apply path. A primary journals (version, trainedCount) retrain markers;
+// a replica that applies the same mutation stream in order reaches the
+// same store prefix, and model construction is deterministic for a fixed
+// constructor config (DESIGN.md §8), so the model installed here is
+// byte-identical to the one the primary serves at that version. The
+// version must advance and the prefix must exist; a violation means the
+// stream was applied out of order and the replica must resync.
+func (u *Updater) RetrainAt(version, trainedCount int) error {
+	u.mu.Lock()
+	if trainedCount <= 0 || trainedCount > len(u.readings) {
+		n := len(u.readings)
+		u.mu.Unlock()
+		return fmt.Errorf("core: retrain-at: trained prefix %d outside store of %d readings", trainedCount, n)
+	}
+	if version <= u.version {
+		v := u.version
+		u.mu.Unlock()
+		return fmt.Errorf("core: retrain-at: version %d does not advance current %d", version, v)
+	}
+	snap := u.readings[:trainedCount:trainedCount]
+	u.mu.Unlock()
+
+	model, err := u.rebuild(snap)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.model = model
+	u.version = version
+	u.trainedCount = trainedCount
+	if u.journal != nil {
+		u.journal.RecordRetrain(version, trainedCount)
+	}
+	u.mu.Unlock()
+	return nil
+}
+
 // Restore rehydrates an updater from persisted state: the full trusted
 // store, the version of the last trained model, and the store prefix
 // length it was trained on. The model is rebuilt from that prefix — model

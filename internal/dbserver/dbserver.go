@@ -184,6 +184,54 @@ type Config struct {
 	// a wider loss window on power failure (never covering acknowledged
 	// snapshots or FlushWAL calls) for fewer fsyncs per second.
 	WALFlushInterval time.Duration
+	// Tap, when set, observes every accepted store mutation in exactly
+	// the order it was applied: bootstrap seeds, accepted upload batches,
+	// and completed retrains. The cluster replication layer
+	// (internal/cluster) hooks in here to ship the mutation stream to
+	// replicas. Tap methods run under the store lock, like core.Journal —
+	// they must only enqueue. State recovered from disk at Open is not
+	// replayed into the tap.
+	Tap Tap
+}
+
+// Tap receives accepted store mutations for replication. Both methods are
+// invoked while the owning updater's lock is held (the same contract as
+// core.Journal), so the call order is the store's apply order.
+type Tap interface {
+	// TapReadings reports readings accepted into a trusted store. The
+	// slice is caller-owned; implementations must copy what they retain.
+	TapReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading)
+	// TapRetrain reports a completed rebuild: the new model version and
+	// the store prefix length it was trained on.
+	TapRetrain(ch rfenv.Channel, kind sensor.Kind, version, trainedCount int)
+}
+
+// tapJournal adapts a Tap to core.Journal for one store.
+type tapJournal struct {
+	tap  Tap
+	ch   rfenv.Channel
+	kind sensor.Kind
+}
+
+func (j tapJournal) AppendReadings(rs []dataset.Reading) { j.tap.TapReadings(j.ch, j.kind, rs) }
+func (j tapJournal) RecordRetrain(version, trained int) {
+	j.tap.TapRetrain(j.ch, j.kind, version, trained)
+}
+
+// multiJournal fans one updater's mutation stream out to several
+// journals (the WAL and the replication tap), preserving order.
+type multiJournal []core.Journal
+
+func (m multiJournal) AppendReadings(rs []dataset.Reading) {
+	for _, j := range m {
+		j.AppendReadings(rs)
+	}
+}
+
+func (m multiJournal) RecordRetrain(version, trained int) {
+	for _, j := range m {
+		j.RecordRetrain(version, trained)
+	}
 }
 
 // New returns an empty database server.
@@ -241,13 +289,26 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 	if err != nil {
 		return nil, err
 	}
+	var journals multiJournal
 	if s.cfg.DataDir != "" {
 		// Recovery (snapshot load + WAL replay + model rebuild) happens
 		// here, before the updater becomes visible: no request ever sees
 		// a partially recovered store.
-		if err := s.openStore(key, u); err != nil {
+		wj, err := s.openStore(key, u)
+		if err != nil {
 			return nil, err
 		}
+		journals = append(journals, wj)
+	}
+	if s.cfg.Tap != nil {
+		journals = append(journals, tapJournal{tap: s.cfg.Tap, ch: ch, kind: kind})
+	}
+	switch len(journals) {
+	case 0:
+	case 1:
+		u.SetJournal(journals[0])
+	default:
+		u.SetJournal(journals)
 	}
 	s.updaters[key] = u
 	s.insertKeyLocked(key)

@@ -73,29 +73,29 @@ func (s *Server) storeDir(key storeKey) string {
 }
 
 // openStore opens (or recovers) the durable store for key and returns
-// the updater wired to journal into it. Called with s.mu write-held from
-// updaterFor. Recovery order matters: restore the persisted state into
-// the fresh updater first, then attach the journal, so replayed records
-// are not re-journaled.
-func (s *Server) openStore(key storeKey, u *core.Updater) error {
+// the journal the updater must be wired to. Called with s.mu write-held
+// from updaterFor. Recovery order matters: the persisted state is
+// restored into the fresh updater here, before the caller attaches any
+// journal, so replayed records are not re-journaled (and not re-tapped
+// into replication).
+func (s *Server) openStore(key storeKey, u *core.Updater) (core.Journal, error) {
 	w, rec, err := wal.OpenStore(s.storeDir(key), key.ch, key.kind, wal.StoreOptions{
 		FS:            s.cfg.WALFS,
 		Metrics:       s.metrics,
 		FlushInterval: s.cfg.WALFlushInterval,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(rec.Readings) > 0 || rec.ModelVersion > 0 {
 		if err := u.Restore(rec.Readings, rec.ModelVersion, rec.TrainedCount); err != nil {
 			w.Close()
-			return fmt.Errorf("restore: %w", err)
+			return nil, fmt.Errorf("restore: %w", err)
 		}
 	}
 	ws := &walState{store: w}
-	u.SetJournal(storeJournal{ws})
 	s.wals[key] = ws
-	return nil
+	return storeJournal{ws}, nil
 }
 
 // maybeSnapshot triggers a background snapshot compaction of key's store

@@ -1,0 +1,49 @@
+package dbserver
+
+import (
+	"fmt"
+
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// Replica apply surface. A replica shard receives its primary's mutation
+// stream (internal/cluster ships the journal order over HTTP) and folds
+// it into its own stores through these two methods. They bypass the α′
+// gate and upload screening on purpose: the primary already applied its
+// acceptance policy, and re-deciding here could diverge the stores. Both
+// paths journal into the replica's own WAL (when it has a data dir), so
+// a replica recovers from its own disk exactly like a primary.
+
+// ApplyReplicatedReadings appends a replicated batch to the store for a
+// channel/sensor, creating the store if needed.
+func (s *Server) ApplyReplicatedReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) error {
+	if len(rs) == 0 {
+		return fmt.Errorf("dbserver: empty replicated batch")
+	}
+	for i := range rs {
+		if rs[i].Channel != ch || rs[i].Sensor != kind {
+			return fmt.Errorf("dbserver: replicated batch for %v/%v holds a %v/%v reading",
+				ch, kind, rs[i].Channel, rs[i].Sensor)
+		}
+	}
+	u, err := s.updaterFor(ch, kind)
+	if err != nil {
+		return err
+	}
+	u.Bootstrap(rs)
+	s.maybeSnapshot(storeKey{ch, kind})
+	return nil
+}
+
+// ApplyReplicatedRetrain rebuilds the model for a channel/sensor from the
+// first trainedCount store readings and installs it at exactly the
+// primary's version, so the replica serves byte-identical descriptors.
+func (s *Server) ApplyReplicatedRetrain(ch rfenv.Channel, kind sensor.Kind, version, trainedCount int) error {
+	u, err := s.updaterFor(ch, kind)
+	if err != nil {
+		return err
+	}
+	return u.RetrainAt(version, trainedCount)
+}

@@ -59,3 +59,56 @@ func TestOperationsDocCoversEveryMetric(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterMetricsDocumentedWithAlerts holds the cluster tier to a
+// stricter bar than mere mention: every waldo_cluster_* series must have
+// its own runbook table row with a non-empty Alert column, because the
+// cluster metrics are the only way an operator can tell a routing
+// misconfiguration from a dead shard.
+func TestClusterMetricsDocumentedWithAlerts(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+
+	// Table rows documenting a metric: | `name` | meaning | alert |
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`(waldo_cluster_[a-z0-9_]+)`\\s*\\|([^|]*)\\|([^|]*)\\|")
+	documented := map[string]bool{}
+	for _, m := range rowRE.FindAllSubmatch(doc, -1) {
+		name := string(m[1])
+		if strings.TrimSpace(string(m[2])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Meaning column", name)
+		}
+		if strings.TrimSpace(string(m[3])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Alert column", name)
+		}
+		documented[name] = true
+	}
+
+	metricRE := regexp.MustCompile(`"(waldo_cluster_[a-z0-9_]+)"`)
+	err = filepath.WalkDir("internal/cluster", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricRE.FindAllSubmatch(src, -1) {
+			name := string(m[1])
+			if !documented[name] {
+				t.Errorf("cluster metric %s (in %s) has no alert-bearing table row in OPERATIONS.md §2.5", name, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(documented) < 9 {
+		t.Errorf("OPERATIONS.md documents only %d waldo_cluster_* rows; the cluster tier exports 9", len(documented))
+	}
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Boots a real 3-shard cluster on loopback — three waldo-server shard
+# processes plus one waldo-gateway — runs waldo-loadgen against the
+# gateway, and tears everything down. This is the out-of-process
+# counterpart to the in-process e2e cluster harness: it proves the
+# binaries, flag parsing, and process topology work, not just the
+# library wiring.
+#
+# Usage: scripts/cluster_smoke.sh [bin-dir]
+# Binaries are taken from bin-dir (default ./bin); build them with
+# `make cluster-test` or `go build -o bin ./cmd/...`.
+set -euo pipefail
+
+BIN=${1:-bin}
+GATEWAY_PORT=${GATEWAY_PORT:-9100}
+SHARD_PORTS=(9101 9102 9103)
+DURATION=${DURATION:-3s}
+CLIENTS=${CLIENTS:-4}
+
+for exe in waldo-server waldo-gateway waldo-loadgen; do
+    if [ ! -x "$BIN/$exe" ]; then
+        echo "missing $BIN/$exe (run: go build -o $BIN ./cmd/...)" >&2
+        exit 1
+    fi
+done
+
+WORK=$(mktemp -d /tmp/waldo-cluster.XXXXXX)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# wait_port host port: poll until something listens there.
+wait_port() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "port $1 never came up" >&2
+    return 1
+}
+
+SHARDS=""
+for i in "${!SHARD_PORTS[@]}"; do
+    port=${SHARD_PORTS[$i]}
+    id="s$i"
+    "$BIN/waldo-server" -addr "127.0.0.1:$port" -shard-id "$id" \
+        -data-dir "$WORK/$id" -classifier nb \
+        >"$WORK/$id.log" 2>&1 &
+    PIDS+=($!)
+    SHARDS="${SHARDS:+$SHARDS;}$id=http://127.0.0.1:$port"
+done
+for port in "${SHARD_PORTS[@]}"; do
+    wait_port "$port"
+done
+echo "shards up: $SHARDS"
+
+"$BIN/waldo-gateway" -addr "127.0.0.1:$GATEWAY_PORT" -shards "$SHARDS" \
+    >"$WORK/gateway.log" 2>&1 &
+PIDS+=($!)
+wait_port "$GATEWAY_PORT"
+echo "gateway up: http://127.0.0.1:$GATEWAY_PORT"
+
+curl -fsS "http://127.0.0.1:$GATEWAY_PORT/healthz" || {
+    echo "gateway /healthz failed; gateway log:" >&2
+    cat "$WORK/gateway.log" >&2
+    exit 1
+}
+echo
+
+"$BIN/waldo-loadgen" -gateway "http://127.0.0.1:$GATEWAY_PORT" \
+    -clients "$CLIENTS" -duration "$DURATION" -channels 46,47 || {
+    echo "loadgen failed; logs:" >&2
+    tail -20 "$WORK"/*.log >&2
+    exit 1
+}
+
+echo
+echo "cluster smoke OK"
