@@ -110,8 +110,9 @@ type Gateway struct {
 	version string
 	httpc   *http.Client
 
-	metrics   *telemetry.Registry
-	failovers *telemetry.Counter
+	metrics      *telemetry.Registry
+	failovers    *telemetry.Counter
+	uploadSplits *telemetry.Counter
 
 	handler http.Handler
 	stopc   chan struct{}
@@ -168,6 +169,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		metrics: cfg.Metrics,
 		failovers: cfg.Metrics.Counter("waldo_cluster_failover_total",
 			"Times the gateway advanced a shard's active endpoint after failures."),
+		uploadSplits: cfg.Metrics.Counter("waldo_cluster_upload_split_total",
+			"Uploads whose readings crossed a routing-cell or channel boundary and were split across shard legs."),
 		stopc: make(chan struct{}),
 	}
 	cfg.Metrics.Gauge("waldo_cluster_ring_nodes",
@@ -268,66 +271,132 @@ func (g *Gateway) handleKeyed(w http.ResponseWriter, r *http.Request) {
 	g.forward(w, r, g.shardFor(key), nil)
 }
 
-// handleReadings routes an upload by peeking at the first reading's
-// channel and location, then forwards the raw body untouched. Only
-// readings[0] is decoded: the dbserver already rejects mixed-key
-// batches, so the first reading determines the whole batch's shard.
+// uploadLeg is one shard's share of a split upload: the readings whose
+// (channel, cell) keys that shard owns, kept same-channel/same-sensor so
+// the dbserver accepts each slice exactly like a direct upload.
+type uploadLeg struct {
+	shard    *shardState
+	readings []dbserver.ReadingJSON
+}
+
+// handleReadings routes an upload by each reading's (channel, geo-cell)
+// key. A batch whose readings all land on one shard is forwarded with
+// its body byte-identical (the common case: clients batch locally). A
+// batch crossing a cell boundary is split per owning shard and each
+// slice forwarded in parallel — routing the whole batch by readings[0]
+// would strand the neighbor cell's readings on a shard that lat/lon-
+// hinted /v1/model and /v1/export queries for that cell never visit.
+// On a partial failure the gateway answers with the worst leg status
+// (uniform failures pass through; mixed outcomes are 502), so a client
+// retry re-submits the whole batch; the already-landed slices re-apply
+// as ordinary duplicate readings, never as losses.
 func (g *Gateway) handleReadings(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	body, err := g.readBody(w, r)
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read body: "+err.Error(), status)
 		return
 	}
-	first, err := peekFirstReading(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	// Probe pass: decode only the routing fields (lat/lon/channel/sensor)
+	// — not the signal floats — and check whether every reading lands on
+	// one (shard, channel, sensor) leg. Clients batch locally, so almost
+	// every upload does, and the probe keeps the fast path from paying a
+	// full decode + re-marshal for nothing.
+	var probe struct {
+		Readings []struct {
+			Lat     float64 `json:"lat"`
+			Lon     float64 `json:"lon"`
+			Channel int     `json:"channel"`
+			Sensor  int     `json:"sensor"`
+		} `json:"readings"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	key := RouteKey{
-		Channel: rfenv.Channel(first.Channel),
-		Cell:    CellOf(geo.Point{Lat: first.Lat, Lon: first.Lon}, g.cfg.CellDeg),
+	if len(probe.Readings) == 0 {
+		http.Error(w, "upload holds no readings", http.StatusBadRequest)
+		return
 	}
-	g.forward(w, r, g.shardFor(key), body)
-}
-
-// peekReading is the slice of an uploaded reading the router cares about.
-type peekReading struct {
-	Channel int     `json:"channel"`
-	Lat     float64 `json:"lat"`
-	Lon     float64 `json:"lon"`
-}
-
-// peekFirstReading streams JSON tokens just far enough to pull readings[0]
-// out of an upload body, without materializing the rest of the batch.
-func peekFirstReading(body []byte) (peekReading, error) {
-	var first peekReading
-	dec := json.NewDecoder(bytes.NewReader(body))
-	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
-		return first, errors.New("upload is not a JSON object")
+	type legKey struct {
+		shard   string
+		channel int
+		sensor  int
 	}
-	for dec.More() {
-		keyTok, err := dec.Token()
+	keyOf := func(lat, lon float64, channel, kind int) legKey {
+		owner := g.ring.Owner(RouteKey{
+			Channel: rfenv.Channel(channel),
+			Cell:    CellOf(geo.Point{Lat: lat, Lon: lon}, g.cfg.CellDeg),
+		})
+		return legKey{shard: owner, channel: channel, sensor: kind}
+	}
+	first := keyOf(probe.Readings[0].Lat, probe.Readings[0].Lon, probe.Readings[0].Channel, probe.Readings[0].Sensor)
+	mixed := false
+	for _, rj := range probe.Readings[1:] {
+		if keyOf(rj.Lat, rj.Lon, rj.Channel, rj.Sensor) != first {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		g.forward(w, r, g.shards[first.shard], body) // byte-identical fast path
+		return
+	}
+	// Split path: full decode, then group per (shard, channel, sensor) —
+	// slices stay single-key from the dbserver's point of view, and two
+	// cells owned by one shard share a leg. First-appearance order keeps
+	// legs deterministic.
+	var up dbserver.UploadJSON
+	if err := json.Unmarshal(body, &up); err != nil {
+		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	byKey := make(map[legKey]*uploadLeg)
+	var legs []*uploadLeg
+	for _, rj := range up.Readings {
+		lk := keyOf(rj.Lat, rj.Lon, rj.Channel, rj.Sensor)
+		leg := byKey[lk]
+		if leg == nil {
+			leg = &uploadLeg{shard: g.shards[lk.shard]}
+			byKey[lk] = leg
+			legs = append(legs, leg)
+		}
+		leg.readings = append(leg.readings, rj)
+	}
+	g.uploadSplits.Inc()
+	results := make([]FanoutResult, len(legs))
+	var wg sync.WaitGroup
+	for i, leg := range legs {
+		sliceBody, err := json.Marshal(dbserver.UploadJSON{CISpanDB: up.CISpanDB, Readings: leg.readings})
 		if err != nil {
-			return first, err
+			http.Error(w, "encode slice: "+err.Error(), http.StatusInternalServerError)
+			return
 		}
-		if key, _ := keyTok.(string); key == "readings" {
-			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
-				return first, errors.New("readings is not an array")
-			}
-			if !dec.More() {
-				return first, errors.New("upload holds no readings")
-			}
-			if err := dec.Decode(&first); err != nil {
-				return first, fmt.Errorf("bad reading: %w", err)
-			}
-			return first, nil
-		}
-		var skip json.RawMessage
-		if err := dec.Decode(&skip); err != nil {
-			return first, err
+		wg.Add(1)
+		go func(i int, sh *shardState, b []byte) {
+			defer wg.Done()
+			results[i] = g.tryShard(r, sh, b)
+		}(i, leg.shard, sliceBody)
+	}
+	wg.Wait()
+	status := results[0].Status
+	for _, res := range results {
+		if res.Status != status {
+			status = http.StatusBadGateway // mixed outcomes: make the client retry
 		}
 	}
-	return first, errors.New("upload holds no readings")
+	w.Header().Set(ClusterVersionHeader, g.version)
+	if status/100 == 2 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(results) //nolint:errcheck // client went away
 }
 
 // handleRetrain routes to one shard when the request carries a location
@@ -475,7 +544,9 @@ func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutR
 			}
 			continue
 		}
-		data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+		// Read one byte past the cap so truncation is detected, not
+		// silently served as a clipped (and likely invalid) body.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
 		resp.Body.Close()
 		if err != nil {
 			sh.errs.Inc()
@@ -484,6 +555,14 @@ func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutR
 				g.failovers.Inc()
 			}
 			continue
+		}
+		if int64(len(data)) > g.cfg.MaxBodyBytes {
+			// The shard answered, just with more than we buffer — an
+			// explicit error, not a failover (the endpoint is healthy).
+			sh.errs.Inc()
+			res.Status = http.StatusBadGateway
+			res.Error = fmt.Sprintf("shard response exceeded the %d-byte gateway buffer", g.cfg.MaxBodyBytes)
+			return res
 		}
 		res.Status = resp.StatusCode
 		res.Error = ""
@@ -518,6 +597,22 @@ func (g *Gateway) shardDo(r *http.Request, url string, body []byte) (*http.Respo
 	return g.httpc.Do(req)
 }
 
+// readBody buffers a request body under the gateway cap, preallocating
+// from Content-Length so a typical upload reads in one pass instead of
+// growing through doubling copies. Oversize bodies surface as
+// *http.MaxBytesError for the caller to map to 413.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	var buf bytes.Buffer
+	if n := r.ContentLength; n > 0 && n <= g.cfg.MaxBodyBytes {
+		buf.Grow(int(n))
+	}
+	if _, err := buf.ReadFrom(rd); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // forward proxies a single-key request to a shard, streaming the
 // response through. On a transport failure it advances the shard's
 // active endpoint and retries the next one in the same request, so a
@@ -527,9 +622,14 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, sh *shardState
 	sh.requests.Inc()
 	if body == nil && r.Method != http.MethodGet && r.Method != http.MethodHead && r.Body != nil {
 		// Buffer mutation bodies so a failover retry can resend them.
-		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+		data, err := g.readBody(w, r)
 		if err != nil {
-			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, "read body: "+err.Error(), status)
 			return
 		}
 		body = data

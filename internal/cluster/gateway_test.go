@@ -60,14 +60,25 @@ func newTestCluster(t *testing.T, shardIDs []string) *testCluster {
 	return tc
 }
 
+// cellCenter snaps a location to the center of its routing cell, so a
+// batch synthesized within ~400 m of it can never straddle a cell
+// boundary.
+func cellCenter(p geo.Point, cellDeg float64) geo.Point {
+	c := CellOf(p, cellDeg)
+	return geo.Point{
+		Lat: (float64(c.X) + 0.5) * cellDeg,
+		Lon: (float64(c.Y) + 0.5) * cellDeg,
+	}
+}
+
 // locations returns one probe location per shard: points 6 km apart
-// east of the metro center, each quantizing to its own cell, mapped to
-// whichever shard the ring says owns it, until every shard is covered.
+// east of the metro center, snapped to their cell centers, mapped to
+// whichever shard the ring says owns them, until every shard is covered.
 func (tc *testCluster) locations(t *testing.T, ch rfenv.Channel) map[string]geo.Point {
 	t.Helper()
 	out := map[string]geo.Point{}
 	for i := 0; i < 200 && len(out) < len(tc.nodes); i++ {
-		loc := rfenv.MetroCenter.Offset(90, float64(i)*6000)
+		loc := cellCenter(rfenv.MetroCenter.Offset(90, float64(i)*6000), tc.cellDeg)
 		owner := tc.gw.Ring().Owner(RouteKey{Channel: ch, Cell: CellOf(loc, tc.cellDeg)})
 		if _, seen := out[owner]; !seen {
 			out[owner] = loc
@@ -122,6 +133,62 @@ func TestGatewayRoutesByCell(t *testing.T) {
 		}
 		if v := resp.Header.Get(ClusterVersionHeader); v != tc.gw.ConfigVersion() {
 			t.Errorf("cluster version header %q, want %q", v, tc.gw.ConfigVersion())
+		}
+	}
+}
+
+// TestGatewaySplitsMixedCellUpload: a single upload whose readings span
+// routing cells owned by different shards is split at the gateway, each
+// piece landing on its ring-designated shard — not stored wholesale
+// wherever the first reading pointed.
+func TestGatewaySplitsMixedCellUpload(t *testing.T) {
+	tc := newTestCluster(t, []string{"s0", "s1", "s2"})
+	locs := tc.locations(t, 47)
+	want := map[string]int{}
+	var mixed []dataset.Reading
+	share := 20
+	for owner, loc := range locs {
+		mixed = append(mixed, synthAt(share, 47, 7, loc)...)
+		want[owner] = share
+		share += 10 // unequal shares so misrouting shows up in counts
+	}
+	resp := mustPost(t, tc.gwTS.URL+"/v1/readings", uploadBody(t, mixed))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("mixed-cell upload = %s", resp.Status)
+	}
+	for id, ts := range tc.nodeTS {
+		var stats []dbserver.StatsJSON
+		if err := json.Unmarshal(mustGetBody(t, ts.URL+"/v1/stats", http.StatusOK), &stats); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		if len(stats) == 1 {
+			got = stats[0].Readings
+		}
+		if got != want[id] {
+			t.Errorf("shard %s holds %d readings, want %d", id, got, want[id])
+		}
+	}
+	if v := tc.gw.uploadSplits.Value(); v < 1 {
+		t.Errorf("upload split counter = %v, want ≥ 1", v)
+	}
+
+	// The split pieces must be visible to location-hinted reads — the
+	// whole point of routing them correctly.
+	for owner, loc := range locs {
+		url := tc.gwTS.URL + "/v1/export?channel=47&sensor=1&lat=" +
+			strconv.FormatFloat(loc.Lat, 'f', -1, 64) + "&lon=" + strconv.FormatFloat(loc.Lon, 'f', -1, 64)
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("hinted export for %s = %s", owner, resp.Status)
+		}
+		if got := resp.Header.Get("X-Waldo-Shard"); got != owner {
+			t.Errorf("hinted export routed to %q, want %q", got, owner)
 		}
 	}
 }

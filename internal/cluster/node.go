@@ -3,13 +3,18 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
 )
 
@@ -42,6 +47,10 @@ type NodeConfig struct {
 	HTTPClient *http.Client
 }
 
+// seedChunkReadings bounds one snapshot-seeded append frame, keeping any
+// single replication exchange comfortably under the apply body cap.
+const seedChunkReadings = 4096
+
 // Node is one shard: the full dbserver API plus the replication surface
 // (/v1/repl/apply for its primary's stream, /v1/repl/status for
 // operators) and, when it has replicas, a background log shipper.
@@ -50,11 +59,25 @@ type Node struct {
 	DB   *dbserver.Server
 	repl *Replicator // nil when no replicas
 
-	// applyMu serializes replicated-frame application; applied is the
-	// contiguous high-water mark of the primary's sequence numbers.
-	applyMu      sync.Mutex
-	applied      uint64
-	appliedTotal *telemetry.Counter
+	// applyMu serializes replicated-frame application. applied is the
+	// contiguous high-water mark of the primary's sequence numbers;
+	// follows is the primary incarnation those sequences belong to (0
+	// until the node, while still empty, adopts the first stream it
+	// sees). recoveredData notes that the node opened with pre-existing
+	// store state — such a node can never adopt a stream, because its
+	// position in any primary's journal is unknowable.
+	applyMu       sync.Mutex
+	applied       uint64
+	follows       uint64
+	recoveredData bool
+	appliedTotal  *telemetry.Counter
+
+	// promoted latches once the node accepts a direct client write
+	// (gateway failover made it the de-facto primary). Promotion is
+	// one-way: a promoted node refuses /v1/repl/apply, so a not-quite-dead
+	// old primary resuming its shipping cannot silently interleave with
+	// the direct writes and fork the store history.
+	promoted atomic.Bool
 
 	closeOnce sync.Once
 	handler   http.Handler
@@ -62,7 +85,10 @@ type Node struct {
 
 // OpenNode opens the embedded DB (recovering from its data dir like
 // dbserver.Open) and starts the replication shipper if replicas are
-// configured.
+// configured. A primary that recovered pre-existing state seeds its
+// journal with a full store snapshot before shipping, so an empty
+// replica adopting the new incarnation is rebuilt from scratch rather
+// than silently missing the recovered prefix.
 func OpenNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ShipInterval <= 0 {
 		cfg.ShipInterval = 3 * time.Millisecond
@@ -80,8 +106,8 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 	n.appliedTotal = cfg.DB.Metrics.Counter("waldo_cluster_replication_applied_total",
 		"Replicated journal records applied by this node (replica role).")
 	if len(cfg.ReplicaURLs) > 0 {
-		n.repl = newReplicator(cfg.ReplicaURLs, cfg.HTTPClient, cfg.ShipInterval,
-			cfg.MaxShipRecords, cfg.DB.Metrics)
+		n.repl = newReplicator(newIncarnation(), cfg.ReplicaURLs, cfg.HTTPClient,
+			cfg.ShipInterval, cfg.MaxShipRecords, cfg.DB.Metrics)
 		if cfg.DB.Tap != nil {
 			return nil, fmt.Errorf("cluster: NodeConfig.DB.Tap is owned by the replicator")
 		}
@@ -92,14 +118,40 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.DB = db
+	n.recoveredData = db.HasData()
 	if n.repl != nil {
+		if n.recoveredData {
+			// Recovered state is not replayed through the tap (it happened
+			// before this process's journal existed), so ship it explicitly:
+			// full reading corpus plus a retrain marker at the recovered
+			// version. Rebuilds are deterministic, so an empty replica
+			// applying this seed converges to byte-identical descriptors —
+			// this is also the full-resync path after a replica rebuild.
+			db.SnapshotStores(func(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading, version, trained int) {
+				for start := 0; start < len(rs); start += seedChunkReadings {
+					end := start + seedChunkReadings
+					if end > len(rs) {
+						end = len(rs)
+					}
+					n.repl.TapReadings(ch, kind, rs[start:end])
+				}
+				if version > 0 {
+					n.repl.TapRetrain(ch, kind, version, trained)
+				}
+			})
+		}
 		n.repl.start()
 	}
 
+	dbh := db.Handler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/repl/apply", n.handleApply)
 	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
-	mux.Handle("/", db.Handler())
+	// Direct mutations promote the node (see Node.promoted). Reads pass
+	// through untouched.
+	mux.Handle("POST /v1/readings", n.promoteOnSuccess(dbh))
+	mux.Handle("POST /v1/retrain", n.promoteOnSuccess(dbh))
+	mux.Handle("/", dbh)
 	n.handler = mux
 	return n, nil
 }
@@ -139,72 +191,139 @@ func (n *Node) Close() error {
 	return err
 }
 
+// statusRecorder captures the response code so promoteOnSuccess only
+// latches on mutations the DB actually accepted.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// promoteOnSuccess wraps a direct mutation route: a 2xx outcome latches
+// the promotion fence (writes are now forking from any primary's
+// journal, so replication must stop).
+func (n *Node) promoteOnSuccess(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if rec.code/100 == 2 {
+			n.promoted.Store(true)
+		}
+	})
+}
+
 // handleApply folds a batch of replication frames from this node's
-// primary into the local stores. Frames at or below the applied mark are
-// skipped (retry idempotency); a gap above it means the primary and
-// replica disagree about history, answered with 409 and the replica's
-// mark so the primary can re-ship from there.
+// primary into the local stores. The exchange must carry the incarnation
+// this node follows: a node adopts the first incarnation it sees while
+// still empty; any other incarnation — a restarted primary, a node that
+// recovered data on its own, a promoted replica — is refused with 409
+// and a machine-readable reason, never misread as retry idempotency.
+// Within the followed stream, frames at or below the applied mark are
+// skipped (retries are idempotent) and a gap above it is refused with
+// 409 plus the mark so the primary can re-ship.
 func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read body: "+err.Error(), status)
+		return
+	}
+	incarnation, body, err := decodeExchangeHeader(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 	status := http.StatusOK
-	var applyErr string
-	for len(body) > 0 {
-		seq, rec, rest, err := decodeFrame(body)
-		if err != nil {
-			status, applyErr = http.StatusBadRequest, err.Error()
-			break
+	var reason, applyErr string
+	switch {
+	case n.promoted.Load():
+		status, reason = http.StatusConflict, reasonPromoted
+		applyErr = "node accepted direct writes (promoted); replication refused"
+	case n.follows == 0 && n.recoveredData:
+		status, reason = http.StatusConflict, reasonResync
+		applyErr = "node recovered existing data without a replication session; rebuild it empty to follow a primary"
+	case n.follows != 0 && incarnation != n.follows:
+		status, reason = http.StatusConflict, reasonMismatch
+		applyErr = fmt.Sprintf("following primary incarnation %016x, got %016x", n.follows, incarnation)
+	default:
+		if n.follows == 0 {
+			n.follows = incarnation // empty node: adopt this stream
 		}
-		body = rest
-		if seq <= n.applied {
-			continue
+		for len(body) > 0 {
+			seq, rec, rest, err := decodeFrame(body)
+			if err != nil {
+				status, applyErr = http.StatusBadRequest, err.Error()
+				break
+			}
+			body = rest
+			if seq <= n.applied {
+				continue
+			}
+			if seq != n.applied+1 {
+				status, reason = http.StatusConflict, reasonGap
+				applyErr = fmt.Sprintf("sequence gap: applied %d, got %d", n.applied, seq)
+				break
+			}
+			switch rec.kind {
+			case frameAppend:
+				err = n.DB.ApplyReplicatedReadings(rec.ch, rec.sensor, rec.readings)
+			case frameRetrain:
+				err = n.DB.ApplyReplicatedRetrain(rec.ch, rec.sensor, rec.version, rec.trained)
+			}
+			if err != nil {
+				status, applyErr = http.StatusInternalServerError, err.Error()
+				break
+			}
+			n.applied = seq
+			n.appliedTotal.Inc()
 		}
-		if seq != n.applied+1 {
-			status = http.StatusConflict
-			applyErr = fmt.Sprintf("sequence gap: applied %d, got %d", n.applied, seq)
-			break
-		}
-		switch rec.kind {
-		case frameAppend:
-			err = n.DB.ApplyReplicatedReadings(rec.ch, rec.sensor, rec.readings)
-		case frameRetrain:
-			err = n.DB.ApplyReplicatedRetrain(rec.ch, rec.sensor, rec.version, rec.trained)
-		}
-		if err != nil {
-			status, applyErr = http.StatusInternalServerError, err.Error()
-			break
-		}
-		n.applied = seq
-		n.appliedTotal.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if status != http.StatusOK {
 		w.Header().Set("X-Waldo-Repl-Error", applyErr)
 		w.WriteHeader(status)
 	}
-	json.NewEncoder(w).Encode(applyStatus{Applied: n.applied}) //nolint:errcheck // client went away
+	json.NewEncoder(w).Encode(applyStatus{ //nolint:errcheck // client went away
+		Applied:     n.applied,
+		Incarnation: n.follows,
+		Reason:      reason,
+	})
 }
 
 // nodeStatus is the /v1/repl/status payload.
 type nodeStatus struct {
-	ID      string `json:"id"`
-	Applied uint64 `json:"applied"` // frames folded in as a replica
-	Lag     int    `json:"lag"`     // records unconfirmed by own replicas
+	ID       string `json:"id"`
+	Applied  uint64 `json:"applied"`         // frames folded in as a replica
+	Follows  uint64 `json:"follows"`         // primary incarnation followed (0: none)
+	Ships    uint64 `json:"ships,omitempty"` // own incarnation, when shipping to replicas
+	Promoted bool   `json:"promoted"`        // accepted direct writes; refuses replication
+	Lag      int    `json:"lag"`             // records unconfirmed by own replicas
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	n.applyMu.Lock()
-	applied := n.applied
+	applied, follows := n.applied, n.follows
 	n.applyMu.Unlock()
+	st := nodeStatus{
+		ID:       n.cfg.ID,
+		Applied:  applied,
+		Follows:  follows,
+		Promoted: n.promoted.Load(),
+		Lag:      n.ReplicationLag(),
+	}
+	if n.repl != nil {
+		st.Ships = n.repl.incarnation
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(nodeStatus{ //nolint:errcheck // client went away
-		ID:      n.cfg.ID,
-		Applied: applied,
-		Lag:     n.ReplicationLag(),
-	})
+	json.NewEncoder(w).Encode(st) //nolint:errcheck // client went away
 }

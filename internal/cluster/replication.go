@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -24,21 +25,49 @@ import (
 // binary reading codec from internal/core, so the replication path and
 // the durability path serialize measurements identically.
 //
+//	exchange := u64 incarnation | frame...
 //	frame    := u32 length | u64 seq | u8 kind | payload
 //	append   := u16 channel | u8 sensor | u32 count | count × 67-byte readings
 //	retrain  := u16 channel | u8 sensor | u32 version | u32 trainedCount
 //
-// Sequence numbers are contiguous per primary process, starting at 1.
-// The replica applies frames strictly in order, skips already-applied
-// sequence numbers (retries after a partial apply are idempotent), and
-// answers every request with its applied high-water mark, which is also
-// the primary's ack.
+// The incarnation is a random nonzero identifier minted once per primary
+// process; sequence numbers are contiguous within it, starting at 1. A
+// replica adopts the first incarnation it sees while still empty and
+// from then on follows exactly that stream: frames at or below its
+// applied mark are skipped (retries after a partial apply are
+// idempotent), a gap above it is refused with 409, and an exchange
+// stamped with any other incarnation — a restarted primary, a
+// misconfigured topology — is refused outright instead of being
+// misread as retry idempotency. Every answer carries the replica's
+// applied high-water mark plus the incarnation it follows, which is
+// also the primary's ack.
 const (
 	frameAppend  byte = 1
 	frameRetrain byte = 2
 
-	frameHeaderSize = 4 + 8 + 1 // length + seq + kind
+	exchangeHeaderSize = 8         // incarnation
+	frameHeaderSize    = 4 + 8 + 1 // length + seq + kind
 )
+
+// Machine-readable refusal reasons in applyStatus.Reason.
+const (
+	reasonGap      = "sequence_gap"
+	reasonMismatch = "incarnation_mismatch"
+	reasonResync   = "resync_required"
+	reasonPromoted = "promoted"
+)
+
+// newIncarnation mints a random nonzero primary-incarnation identifier.
+func newIncarnation() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy source is gone;
+		// fall back to a time-derived value rather than refusing to
+		// start (uniqueness, not secrecy, is what matters here).
+		return mix(uint64(time.Now().UnixNano())) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
 
 // replRecord is one journaled mutation awaiting (or past) shipping.
 type replRecord struct {
@@ -48,6 +77,27 @@ type replRecord struct {
 	readings []dataset.Reading // kind == frameAppend
 	version  int               // kind == frameRetrain
 	trained  int               // kind == frameRetrain
+}
+
+// appendExchangeHeader starts an exchange body: the shipping primary's
+// incarnation, ahead of the frames.
+func appendExchangeHeader(dst []byte, incarnation uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], incarnation)
+	return append(dst, b[:]...)
+}
+
+// decodeExchangeHeader splits the incarnation off the front of an
+// exchange body.
+func decodeExchangeHeader(b []byte) (uint64, []byte, error) {
+	if len(b) < exchangeHeaderSize {
+		return 0, nil, fmt.Errorf("cluster: exchange truncated: %d bytes", len(b))
+	}
+	inc := binary.LittleEndian.Uint64(b)
+	if inc == 0 {
+		return 0, nil, fmt.Errorf("cluster: exchange carries zero incarnation")
+	}
+	return inc, b[exchangeHeaderSize:], nil
 }
 
 // appendFrame renders one record as a wire frame with the given sequence
@@ -117,21 +167,46 @@ func decodeFrame(b []byte) (uint64, replRecord, []byte, error) {
 }
 
 // applyStatus is the replica's answer to every replication exchange: its
-// contiguous applied high-water mark.
+// contiguous applied high-water mark, the primary incarnation it
+// follows (0 until it has adopted one), and — on refusals — a
+// machine-readable reason.
 type applyStatus struct {
-	Applied uint64 `json:"applied"`
+	Applied     uint64 `json:"applied"`
+	Incarnation uint64 `json:"incarnation"`
+	Reason      string `json:"reason,omitempty"`
 }
 
 // replicaLink is the shipping state for one replica.
 type replicaLink struct {
 	url string
 
-	mu    sync.Mutex
-	acked uint64 // highest sequence the replica confirmed applied
+	mu     sync.Mutex
+	acked  uint64 // highest sequence the replica confirmed applied
+	fenced bool   // replica refused our stream; operator resync required
 
 	lag     *telemetry.Gauge
 	shipped *telemetry.Counter
 	errs    *telemetry.Counter
+	resync  *telemetry.Gauge
+}
+
+// setFenced flips the link's fence and mirrors it into the resync
+// gauge, reporting whether the state changed (so the caller can count
+// the fencing error once, not once per 3ms shipping tick).
+func (l *replicaLink) setFenced(v bool) bool {
+	l.mu.Lock()
+	changed := l.fenced != v
+	l.fenced = v
+	l.mu.Unlock()
+	if !changed {
+		return false
+	}
+	if v {
+		l.resync.Set(1)
+	} else {
+		l.resync.Set(0)
+	}
+	return changed
 }
 
 // Replicator ships a primary's journal stream to its replicas. It
@@ -141,17 +216,23 @@ type replicaLink struct {
 // replication never blocks the upload path (asynchronous by design; the
 // WAL, not the replica, is what an ack promises).
 //
-// The log lives for the primary process's lifetime and sequence numbers
-// restart at 1 with it, so a replica must follow a single primary
-// incarnation from its start (the failover model in DESIGN.md §12: a
-// killed primary is replaced by promoting its replica, not resumed).
+// The log is truncated below the minimum sequence every healthy replica
+// has confirmed, so steady-state memory is bounded by the slowest live
+// replica's lag, not the primary's lifetime. Records below the
+// truncation point are gone: a replica whose mark falls below it (or
+// that follows a different incarnation) is fenced — shipping to it
+// stops counting as progress, waldo_cluster_replication_resync_needed
+// goes to 1, and the operator rebuilds it empty (OPERATIONS.md §3) —
+// never silently re-shipped from 1.
 type Replicator struct {
-	httpc    *http.Client
-	interval time.Duration
-	maxBatch int
+	incarnation uint64
+	httpc       *http.Client
+	interval    time.Duration
+	maxBatch    int
 
-	mu  sync.Mutex
-	log []replRecord
+	mu   sync.Mutex
+	base uint64 // sequences ≤ base are truncated away; log[0] is base+1
+	log  []replRecord
 
 	links []*replicaLink
 	stopc chan struct{}
@@ -159,13 +240,14 @@ type Replicator struct {
 }
 
 // newReplicator assembles the shipper; start() launches the loops.
-func newReplicator(replicaURLs []string, httpc *http.Client, interval time.Duration,
-	maxBatch int, metrics *telemetry.Registry) *Replicator {
+func newReplicator(incarnation uint64, replicaURLs []string, httpc *http.Client,
+	interval time.Duration, maxBatch int, metrics *telemetry.Registry) *Replicator {
 	r := &Replicator{
-		httpc:    httpc,
-		interval: interval,
-		maxBatch: maxBatch,
-		stopc:    make(chan struct{}),
+		incarnation: incarnation,
+		httpc:       httpc,
+		interval:    interval,
+		maxBatch:    maxBatch,
+		stopc:       make(chan struct{}),
 	}
 	for _, u := range replicaURLs {
 		r.links = append(r.links, &replicaLink{
@@ -177,6 +259,9 @@ func newReplicator(replicaURLs []string, httpc *http.Client, interval time.Durat
 				"Journal records confirmed applied by this replica.", "replica", u),
 			errs: metrics.Counter("waldo_cluster_replication_errors_total",
 				"Failed replication exchanges with this replica (retried on the next shipping tick).",
+				"replica", u),
+			resync: metrics.Gauge("waldo_cluster_replication_resync_needed",
+				"1 when this replica refused the primary's stream (divergent history or truncated backlog) and must be rebuilt.",
 				"replica", u),
 		})
 	}
@@ -213,28 +298,63 @@ func (r *Replicator) TapRetrain(ch rfenv.Channel, kind sensor.Kind, version, tra
 	r.mu.Unlock()
 }
 
-// logLen returns the current journal length (== the highest assigned
-// sequence number).
+// logLen returns the highest assigned sequence number.
 func (r *Replicator) logLen() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return uint64(len(r.log))
+	return r.base + uint64(len(r.log))
 }
 
-// pending snapshots up to maxBatch unshipped records after acked.
-// Records are append-only, so the returned subslice is stable.
-func (r *Replicator) pending(acked uint64) (uint64, []replRecord) {
+// pending snapshots up to maxBatch unshipped records after acked. ok is
+// false when acked has fallen below the truncation point — those records
+// no longer exist and the caller must fence the link instead of
+// shipping. Records are append-only and truncation copies the retained
+// tail, so the returned subslice is stable.
+func (r *Replicator) pending(acked uint64) (top uint64, recs []replRecord, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	top := uint64(len(r.log))
+	top = r.base + uint64(len(r.log))
+	if acked < r.base {
+		return top, nil, false
+	}
 	if acked >= top {
-		return top, nil
+		return top, nil, true
 	}
-	end := acked + uint64(r.maxBatch)
-	if end > top {
-		end = top
+	start := acked - r.base
+	end := start + uint64(r.maxBatch)
+	if end > uint64(len(r.log)) {
+		end = uint64(len(r.log))
 	}
-	return top, r.log[acked:end]
+	return top, r.log[start:end], true
+}
+
+// truncate drops journal records every healthy replica has confirmed.
+// Fenced links are excluded — they will never consume the backlog, and
+// holding it for them would grow the primary without bound, which is
+// exactly what truncation exists to prevent.
+func (r *Replicator) truncate() {
+	min := ^uint64(0)
+	healthy := false
+	for _, link := range r.links {
+		link.mu.Lock()
+		if !link.fenced && link.acked < min {
+			min = link.acked
+			healthy = true
+		}
+		link.mu.Unlock()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	top := r.base + uint64(len(r.log))
+	if !healthy || min > top {
+		min = top // every link fenced: nothing will ever consume the log
+	}
+	if min > r.base {
+		// Copy the retained tail so the dropped prefix is actually freed
+		// (a plain reslice would pin the whole backing array).
+		r.log = append([]replRecord(nil), r.log[min-r.base:]...)
+		r.base = min
+	}
 }
 
 // ship is one replica's shipping loop: every tick, push everything past
@@ -262,12 +382,20 @@ func (r *Replicator) shipOnce(link *replicaLink) bool {
 	link.mu.Lock()
 	acked := link.acked
 	link.mu.Unlock()
-	top, recs := r.pending(acked)
+	top, recs, ok := r.pending(acked)
 	link.lag.Set(float64(top - acked))
+	if !ok {
+		// The replica's confirmed position predates the truncation point:
+		// the records it needs are gone. Fence and surface it.
+		if link.setFenced(true) {
+			link.errs.Inc()
+		}
+		return false
+	}
 	if len(recs) == 0 {
 		return false
 	}
-	var body []byte
+	body := appendExchangeHeader(nil, r.incarnation)
 	for i := range recs {
 		body = appendFrame(body, acked+uint64(i)+1, &recs[i])
 	}
@@ -282,20 +410,44 @@ func (r *Replicator) shipOnce(link *replicaLink) bool {
 		link.errs.Inc()
 		return false
 	}
-	if resp.StatusCode != http.StatusOK {
-		link.errs.Inc()
+	if st.Incarnation != r.incarnation {
+		// The replica follows a different primary incarnation (or refused
+		// to adopt ours because it already holds history). Its mark means
+		// nothing to this journal — fence rather than trusting it.
+		if link.setFenced(true) {
+			link.errs.Inc()
+		}
+		return false
 	}
+	r.mu.Lock()
+	base := r.base
+	r.mu.Unlock()
+	if st.Applied < base {
+		// The replica rejoined our incarnation below the truncation point
+		// (only an emptied replica can rewind); its backlog is gone.
+		if link.setFenced(true) {
+			link.errs.Inc()
+		}
+		return false
+	}
+	link.setFenced(false)
 	link.mu.Lock()
 	progressed := st.Applied > link.acked
 	if progressed {
 		link.shipped.Add(st.Applied - link.acked)
 	}
-	// Trust the replica's high-water mark in both directions: forward is
-	// the normal ack; backward would mean a replica reset, and
-	// re-shipping from its mark is the only way to converge.
+	// A forward mark is the normal ack. A backward one (≥ base) means the
+	// replica was rebuilt empty and re-adopted this incarnation — rewind
+	// and refill it from its mark; the records are still in the log.
 	link.acked = st.Applied
 	link.mu.Unlock()
 	link.lag.Set(float64(top - st.Applied))
+	if progressed {
+		r.truncate()
+	}
+	if resp.StatusCode != http.StatusOK {
+		link.errs.Inc()
+	}
 	return progressed && resp.StatusCode == http.StatusOK
 }
 

@@ -186,14 +186,40 @@ func TestReplicationPair(t *testing.T) {
 	if st.Applied != 6 { // 5 uploads + 1 retrain
 		t.Errorf("replica applied %d frames, want 6", st.Applied)
 	}
+	if st.Follows != primary.repl.incarnation {
+		t.Errorf("replica follows %016x, want the primary's incarnation %016x", st.Follows, primary.repl.incarnation)
+	}
 	if lag := primary.ReplicationLag(); lag != 0 {
 		t.Errorf("lag after drain = %d", lag)
 	}
 }
 
+// testIncarnation stamps hand-crafted exchanges in apply-contract tests.
+const testIncarnation uint64 = 0x1122334455667701
+
+// exchange wraps raw frames in an exchange body under one incarnation.
+func exchange(inc uint64, frames []byte) []byte {
+	return append(appendExchangeHeader(nil, inc), frames...)
+}
+
+// applyTo posts a raw exchange body to a node's apply endpoint and
+// decodes the status reply.
+func applyTo(t testing.TB, url string, body []byte) (int, applyStatus) {
+	t.Helper()
+	resp := mustPost(t, url+"/v1/repl/apply", body)
+	defer resp.Body.Close()
+	var st applyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, st
+}
+
 // TestApplyIdempotencyAndGap pins the replica apply contract: re-sent
-// frames are skipped without effect, and a sequence gap is refused with
-// 409 plus the replica's high-water mark so the primary can re-ship.
+// frames are skipped without effect, a sequence gap is refused with 409
+// plus the replica's high-water mark so the primary can re-ship, and an
+// exchange from a different incarnation is refused outright rather than
+// misread as a retry.
 func TestApplyIdempotencyAndGap(t *testing.T) {
 	_, ts := newTestNode(t, "solo", nil)
 	rs := synthReadings(10, 47, 5)
@@ -201,20 +227,10 @@ func TestApplyIdempotencyAndGap(t *testing.T) {
 	body = appendFrame(body, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[:5]})
 	body = appendFrame(body, 2, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[5:]})
 
-	apply := func(b []byte) (int, applyStatus) {
-		resp := mustPost(t, ts.URL+"/v1/repl/apply", b)
-		defer resp.Body.Close()
-		var st applyStatus
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			t.Fatal(err)
-		}
-		return resp.StatusCode, st
-	}
-
-	if code, st := apply(body); code != http.StatusOK || st.Applied != 2 {
+	if code, st := applyTo(t, ts.URL, exchange(testIncarnation, body)); code != http.StatusOK || st.Applied != 2 {
 		t.Fatalf("first apply: %d, applied %d", code, st.Applied)
 	}
-	if code, st := apply(body); code != http.StatusOK || st.Applied != 2 {
+	if code, st := applyTo(t, ts.URL, exchange(testIncarnation, body)); code != http.StatusOK || st.Applied != 2 {
 		t.Fatalf("replayed apply: %d, applied %d (want idempotent skip)", code, st.Applied)
 	}
 	if got := len(bytes.Split(bytes.TrimSpace(mustGetBody(t, ts.URL+"/v1/export?channel=47&sensor=1", http.StatusOK)), []byte("\n"))); got != len(rs)+1 {
@@ -222,8 +238,233 @@ func TestApplyIdempotencyAndGap(t *testing.T) {
 	}
 
 	gap := appendFrame(nil, 9, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[:1]})
-	if code, st := apply(gap); code != http.StatusConflict || st.Applied != 2 {
-		t.Fatalf("gap apply: %d, applied %d (want 409 with mark 2)", code, st.Applied)
+	if code, st := applyTo(t, ts.URL, exchange(testIncarnation, gap)); code != http.StatusConflict || st.Applied != 2 || st.Reason != reasonGap {
+		t.Fatalf("gap apply: %d, applied %d, reason %q (want 409, mark 2, %q)", code, st.Applied, st.Reason, reasonGap)
+	}
+
+	// A different primary incarnation — a restarted process whose journal
+	// restarts at 1 — must be refused, never skipped as idempotent.
+	next := appendFrame(nil, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: rs[:1]})
+	code, st := applyTo(t, ts.URL, exchange(testIncarnation+2, next))
+	if code != http.StatusConflict || st.Reason != reasonMismatch {
+		t.Fatalf("foreign incarnation: %d, reason %q (want 409 %q)", code, st.Reason, reasonMismatch)
+	}
+	if st.Applied != 2 || st.Incarnation != testIncarnation {
+		t.Fatalf("refusal reported mark %d / incarnation %016x, want 2 / %016x", st.Applied, st.Incarnation, testIncarnation)
+	}
+	// Malformed exchanges (truncated header, zero incarnation) are plain
+	// 400s, answered before any stream-state decision.
+	for _, bad := range [][]byte{{1, 2, 3}, exchange(0, nil)} {
+		resp := mustPost(t, ts.URL+"/v1/repl/apply", bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed exchange %v: %s (want 400)", bad, resp.Status)
+		}
+	}
+}
+
+// TestApplyRefusesRecoveredNode: a node that recovered pre-existing data
+// from its WAL has history no replication stream accounts for, so it
+// must refuse to adopt one until rebuilt empty.
+func TestApplyRefusesRecoveredNode(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Node, *httptest.Server) {
+		n, err := OpenNode(NodeConfig{
+			ID: "r",
+			DB: dbserver.Config{
+				Constructor: core.ConstructorConfig{Classifier: core.KindNB},
+				DataDir:     dir,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(n.Handler())
+		return n, ts
+	}
+	n, ts := open()
+	resp := mustPost(t, ts.URL+"/v1/readings", uploadBody(t, synthReadings(20, 47, 1)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload = %s", resp.Status)
+	}
+	ts.Close()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, ts = open()
+	defer func() { ts.Close(); n.Close() }()
+	frames := appendFrame(nil, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: synthReadings(1, 47, 2)})
+	code, st := applyTo(t, ts.URL, exchange(testIncarnation, frames))
+	if code != http.StatusConflict || st.Reason != reasonResync {
+		t.Fatalf("apply to recovered node: %d, reason %q (want 409 %q)", code, st.Reason, reasonResync)
+	}
+	if st.Incarnation != 0 {
+		t.Errorf("recovered node adopted incarnation %016x, want none", st.Incarnation)
+	}
+}
+
+// TestApplyRefusedAfterPromotion: once a node accepts a direct client
+// write (gateway failover made it the de-facto primary), replication
+// frames from the old primary must be refused — interleaving them with
+// the direct writes would silently fork the store history.
+func TestApplyRefusedAfterPromotion(t *testing.T) {
+	_, ts := newTestNode(t, "r", nil)
+	frames := appendFrame(nil, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: synthReadings(5, 47, 1)})
+	if code, _ := applyTo(t, ts.URL, exchange(testIncarnation, frames)); code != http.StatusOK {
+		t.Fatalf("pre-promotion apply: %d", code)
+	}
+
+	resp := mustPost(t, ts.URL+"/v1/readings", uploadBody(t, synthReadings(20, 47, 2)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("direct upload = %s", resp.Status)
+	}
+
+	more := appendFrame(nil, 2, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: synthReadings(5, 47, 3)})
+	code, st := applyTo(t, ts.URL, exchange(testIncarnation, more))
+	if code != http.StatusConflict || st.Reason != reasonPromoted {
+		t.Fatalf("post-promotion apply: %d, reason %q (want 409 %q)", code, st.Reason, reasonPromoted)
+	}
+	if st.Applied != 1 {
+		t.Errorf("promoted node reported mark %d, want 1", st.Applied)
+	}
+}
+
+// TestReplicatorTruncatesAfterDrain: once every replica confirms the
+// journal, the in-memory log is dropped — steady-state memory is bounded
+// by replica lag, not the primary's lifetime.
+func TestReplicatorTruncatesAfterDrain(t *testing.T) {
+	_, replicaTS := newTestNode(t, "r", nil)
+	primary, primaryTS := newTestNode(t, "p", []string{replicaTS.URL})
+
+	for i := 0; i < 3; i++ {
+		resp := mustPost(t, primaryTS.URL+"/v1/readings", uploadBody(t, synthReadings(100, 47, int64(i))))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload %d = %s", i, resp.Status)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := primary.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation runs just after the ack that completes the drain; give
+	// the shipping goroutine a moment to get there.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		primary.repl.mu.Lock()
+		held, base := len(primary.repl.log), primary.repl.base
+		primary.repl.mu.Unlock()
+		if held == 0 {
+			if base != 3 {
+				t.Fatalf("truncation base = %d, want 3", base)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log still holds %d records after drain", held)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRestartedPrimaryFencesReplica: a replica following incarnation A
+// refuses a restarted primary's incarnation B, and the new primary
+// fences the link (resync flagged) instead of silently dropping writes.
+func TestRestartedPrimaryFencesReplica(t *testing.T) {
+	replicaNode, replicaTS := newTestNode(t, "r", nil)
+	frames := appendFrame(nil, 1, &replRecord{kind: frameAppend, ch: 47, sensor: sensor.KindRTLSDR, readings: synthReadings(5, 47, 1)})
+	if code, _ := applyTo(t, replicaTS.URL, exchange(testIncarnation, frames)); code != http.StatusOK {
+		t.Fatalf("seeding apply: %d", code)
+	}
+
+	// "Restarted" primary: a fresh process with a new incarnation shipping
+	// to the same replica.
+	primary, primaryTS := newTestNode(t, "p", []string{replicaTS.URL})
+	resp := mustPost(t, primaryTS.URL+"/v1/readings", uploadBody(t, synthReadings(50, 47, 2)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload = %s", resp.Status)
+	}
+
+	link := primary.repl.links[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		link.mu.Lock()
+		fenced := link.fenced
+		link.mu.Unlock()
+		if fenced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never fenced against a replica following another incarnation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	replicaNode.applyMu.Lock()
+	applied, follows := replicaNode.applied, replicaNode.follows
+	replicaNode.applyMu.Unlock()
+	if applied != 1 || follows != testIncarnation {
+		t.Errorf("replica moved to applied %d / follows %016x; fencing should have frozen it at 1 / %016x",
+			applied, follows, testIncarnation)
+	}
+}
+
+// TestRecoveredPrimarySeedsEmptyReplica: a primary restarted over an
+// existing data dir seeds its journal with the recovered state, so a
+// fresh empty replica converges to byte-identical descriptors — the
+// documented resync path.
+func TestRecoveredPrimarySeedsEmptyReplica(t *testing.T) {
+	dir := t.TempDir()
+	open := func(replicas []string) (*Node, *httptest.Server) {
+		n, err := OpenNode(NodeConfig{
+			ID: "p",
+			DB: dbserver.Config{
+				Constructor: core.ConstructorConfig{Classifier: core.KindNB},
+				DataDir:     dir,
+			},
+			ReplicaURLs:  replicas,
+			ShipInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(n.Handler())
+		return n, ts
+	}
+	n, ts := open(nil)
+	resp := mustPost(t, ts.URL+"/v1/readings", uploadBody(t, synthReadings(200, 47, 1)))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload = %s", resp.Status)
+	}
+	resp = mustPost(t, ts.URL+"/v1/retrain?channel=47&sensor=1", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retrain = %s", resp.Status)
+	}
+	ts.Close()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replicaTS := newTestNode(t, "r", nil)
+	primary, primaryTS := open([]string{replicaTS.URL})
+	defer func() { primaryTS.Close(); primary.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := primary.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/model?channel=47&sensor=1", "/v1/export?channel=47&sensor=1"} {
+		p := mustGetBody(t, primaryTS.URL+path, http.StatusOK)
+		r := mustGetBody(t, replicaTS.URL+path, http.StatusOK)
+		if !bytes.Equal(p, r) {
+			t.Errorf("%s: recovered primary (%d bytes) and seeded replica (%d bytes) differ", path, len(p), len(r))
+		}
 	}
 }
 

@@ -47,3 +47,36 @@ func (s *Server) ApplyReplicatedRetrain(ch rfenv.Channel, kind sensor.Kind, vers
 	}
 	return u.RetrainAt(version, trainedCount)
 }
+
+// HasData reports whether any store holds readings or a trained model —
+// i.e. whether the server carries history a replication stream could
+// conflict with. The cluster tier uses it to decide whether a node may
+// adopt a primary's stream (only an empty node can) and whether a
+// primary must seed its journal with recovered state before shipping.
+func (s *Server) HasData() bool {
+	_, byKey := s.storeSnapshot()
+	for _, u := range byKey {
+		if u.Size() > 0 {
+			return true
+		}
+		if _, version := u.Model(); version > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotStores passes every store's consistent (readings, model
+// version, trained count) view to fn in deterministic key order. The
+// readings slice is the updater's capacity-clamped checkpoint view;
+// stores are append-only, so callers may retain it as a snapshot. The
+// cluster tier uses this at node startup to seed a restarted primary's
+// replication journal with its WAL-recovered state.
+func (s *Server) SnapshotStores(fn func(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading, version, trained int)) {
+	keys, byKey := s.storeSnapshot()
+	for _, k := range keys {
+		byKey[k].Checkpoint(func(rs []dataset.Reading, version, trained int) {
+			fn(k.ch, k.kind, rs, version, trained)
+		})
+	}
+}

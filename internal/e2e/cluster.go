@@ -154,11 +154,14 @@ func (n *clusterNode) kill(flush bool) {
 	n.node.Close()
 }
 
-// clusterBatch is one upload's bookkeeping: where it was aimed and which
-// seqs were acknowledged.
+// clusterBatch is one upload's bookkeeping: which seqs were acknowledged
+// on which shard. The gateway splits batches per (channel, cell) owner,
+// so the audit attributes every reading to the shard its own key routes
+// to — reading by reading, exactly as the routing does.
 type clusterBatch struct {
-	owner string
-	seqs  []int
+	// seqsByOwner maps shard ID → acknowledged reading seqs it owns.
+	seqsByOwner map[string][]int
+	total       int
 }
 
 // RunClusterCrash boots a Shards-way primary+replica topology behind a
@@ -289,28 +292,35 @@ func RunClusterCrash(cfg ClusterConfig) (*ClusterResult, error) {
 		}
 		return core.UploadBatch{Readings: rs, CISpanDB: 0.4}, center, ch
 	}
+	auditBatch := func(batch core.UploadBatch) *clusterBatch {
+		cb := &clusterBatch{seqsByOwner: map[string][]int{}, total: len(batch.Readings)}
+		for _, r := range batch.Readings {
+			k := cluster.RouteKey{Channel: r.Channel, Cell: cluster.CellOf(r.Loc, cfg.CellDeg)}
+			owner := gw.Ring().Owner(k)
+			cb.seqsByOwner[owner] = append(cb.seqsByOwner[owner], r.Seq)
+		}
+		return cb
+	}
 	upload := func(phase, i int) (*clusterBatch, error) {
-		batch, center, ch := makeBatch(phase, i)
+		batch, _, _ := makeBatch(phase, i)
 		if err := untilOK(ctx, fmt.Sprintf("cluster upload p%d #%d", phase, i), func() error {
 			return cl.UploadCtx(ctx, batch)
 		}); err != nil {
 			return nil, err
 		}
-		k := cluster.RouteKey{Channel: ch, Cell: cluster.CellOf(center, cfg.CellDeg)}
-		// The batch routes by its first reading's location, which may sit
-		// in a neighbor cell of the center; recompute from reading 0.
-		k.Cell = cluster.CellOf(batch.Readings[0].Loc, cfg.CellDeg)
-		cb := &clusterBatch{owner: gw.Ring().Owner(k)}
-		for _, r := range batch.Readings {
-			cb.seqs = append(cb.seqs, r.Seq)
-		}
-		return cb, nil
+		return auditBatch(batch), nil
 	}
 
 	ackedA := map[string][]int{} // quiesced: owed to primary AND replica
 	ackedB := map[string][]int{} // kill window: owed to the primary's WAL
 	ackedC := map[string][]int{} // post-kill: owed to the replica
 	res := &ClusterResult{}
+	fold := func(into map[string][]int, cb *clusterBatch) {
+		for owner, seqs := range cb.seqsByOwner {
+			into[owner] = append(into[owner], seqs...)
+		}
+		res.AckedTotal += cb.total
+	}
 
 	// --- Phase A: load, broadcast retrain, drain, byte-compare. ---
 	for i := 0; i < cfg.Batches; i++ {
@@ -318,8 +328,7 @@ func RunClusterCrash(cfg ClusterConfig) (*ClusterResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ackedA[cb.owner] = append(ackedA[cb.owner], cb.seqs...)
-		res.AckedTotal += len(cb.seqs)
+		fold(ackedA, cb)
 	}
 	for _, ch := range cfg.Channels {
 		url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", gwTS.URL, int(ch), int(sensor.KindRTLSDR))
@@ -368,8 +377,7 @@ func RunClusterCrash(cfg ClusterConfig) (*ClusterResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ackedB[cb.owner] = append(ackedB[cb.owner], cb.seqs...)
-		res.AckedTotal += len(cb.seqs)
+		fold(ackedB, cb)
 	}
 	primaries[victim].kill(true)
 
@@ -380,20 +388,13 @@ func RunClusterCrash(cfg ClusterConfig) (*ClusterResult, error) {
 		return nil, fmt.Errorf("e2e: victim %s owns no cells (seed geometry too small)", victim)
 	}
 	for i := 0; i < cfg.PostBatches; i++ {
-		batch, _, ch := makeBatch(2, vcells[i%len(vcells)])
+		batch, _, _ := makeBatch(2, vcells[i%len(vcells)])
 		if err := untilOK(ctx, fmt.Sprintf("post-kill upload #%d", i), func() error {
 			return cl.UploadCtx(ctx, batch)
 		}); err != nil {
 			return nil, err
 		}
-		k := cluster.RouteKey{Channel: ch, Cell: cluster.CellOf(batch.Readings[0].Loc, cfg.CellDeg)}
-		owner := gw.Ring().Owner(k)
-		var seqs []int
-		for _, r := range batch.Readings {
-			seqs = append(seqs, r.Seq)
-		}
-		ackedC[owner] = append(ackedC[owner], seqs...)
-		res.AckedTotal += len(seqs)
+		fold(ackedC, auditBatch(batch))
 	}
 	// A model read for the victim's key must also survive via failover.
 	for _, ch := range cfg.Channels {
