@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster crash-test loadgen chaos cluster-test clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest crash-test loadgen chaos cluster-test clean
 
 check: vet build race
 
@@ -37,7 +37,7 @@ vet:
 BENCH_PATTERN ?= BuildModelParallel|RetrainConcurrentSubmit|RetrainStoreScale|ModelEndpointCached|KMeansAssign|FFT256|PowerSpectrum256
 BENCH_PKGS ?= ./internal/core/ ./internal/dbserver/ ./internal/ml/kmeans/ ./internal/dsp/
 
-bench:
+bench: bench-ingest
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run XXX $(BENCH_PKGS) | tee BENCH_2.txt
 	$(GO) run ./cmd/waldo-benchjson < BENCH_2.txt > BENCH_2.json
 
@@ -100,6 +100,22 @@ CLUSTER_BENCH_PATTERN ?= BenchmarkUploadDirect|BenchmarkUploadViaGateway|Benchma
 bench-cluster:
 	$(GO) test -bench '$(CLUSTER_BENCH_PATTERN)' -benchmem -benchtime 3000x -run XXX ./internal/cluster/ | tee BENCH_6.txt
 	$(GO) run ./cmd/waldo-benchjson < BENCH_6.txt > BENCH_6.json
+
+# Ingest suite for the binary-batching PR: the same 256-reading stream
+# ingested as 64 per-scan JSON uploads vs one binary batch frame, memory
+# and WAL variants (acceptance: batch ≥ 10× single-JSON readings/s), plus
+# the watch-hub bump cost with 0 and 4096 idle watchers parked
+# (acceptance: flat — the retrain path does O(1) work however many WSDs
+# wait). Fixed iteration counts keep the comparisons on equal store
+# sizes. Results land in BENCH_7.json with the raw text in BENCH_7.txt.
+# Gate changes against a saved baseline with scripts/bench_regress.sh.
+INGEST_BENCH_PATTERN ?= BenchmarkIngest
+WATCH_BENCH_PATTERN ?= BenchmarkWatchBump
+
+bench-ingest:
+	$(GO) test -bench '$(INGEST_BENCH_PATTERN)' -benchmem -benchtime 500x -run XXX ./internal/dbserver/ | tee BENCH_7.txt
+	$(GO) test -bench '$(WATCH_BENCH_PATTERN)' -benchtime 100000x -run XXX ./internal/dbserver/ | tee -a BENCH_7.txt
+	$(GO) run ./cmd/waldo-benchjson < BENCH_7.txt > BENCH_7.json
 
 clean:
 	$(GO) clean ./...

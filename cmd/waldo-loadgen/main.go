@@ -74,8 +74,10 @@ type config struct {
 	alphaDB     float64
 	alphaPrime  float64
 	uploadBatch int
+	batch       int
 	seed        int64
 	dumpMetrics bool
+	jsonPath    string
 	faults      *faultinject.Schedule
 	gateway     string
 	cellDeg     float64
@@ -91,8 +93,10 @@ func parseFlags(args []string) (config, error) {
 	alpha := fs.Float64("alpha", 0.5, "detector sensitivity α (dB)")
 	alphaPrime := fs.Float64("alpha-prime", 1.0, "upload acceptance CI span α′ (dB)")
 	uploadBatch := fs.Int("upload-batch", 4, "readings per upload")
+	batch := fs.Int("batch", 0, "buffer readings client-side and ship binary batch frames of this size (0 = per-scan JSON uploads)")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	dump := fs.Bool("metrics", false, "dump the server's Prometheus exposition after the report")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this path ('-' for stdout)")
 	faults := fs.String("faults", "", "seeded fault schedule on the client transport, e.g. 'drop=0.05,error=0.05,delay=0.1,latency=2ms' (see package doc)")
 	gateway := fs.String("gateway", "", "drive an external cluster gateway at this base URL instead of the in-process server (see waldo-gateway)")
 	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum for grouping -gateway bootstrap uploads (match the gateway's -cell-deg)")
@@ -107,8 +111,10 @@ func parseFlags(args []string) (config, error) {
 		alphaDB:     *alpha,
 		alphaPrime:  *alphaPrime,
 		uploadBatch: *uploadBatch,
+		batch:       *batch,
 		seed:        *seed,
 		dumpMetrics: *dump,
+		jsonPath:    *jsonPath,
 		gateway:     strings.TrimRight(*gateway, "/"),
 		cellDeg:     *cellDeg,
 	}
@@ -261,6 +267,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
 		cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+	if cfg.batch > 0 {
+		fmt.Printf("batching:  binary frames, flush at %d readings\n", cfg.batch)
+	}
 	// One shared transport replays the seeded schedule across all
 	// clients: request sequence numbers form a single stream, so the
 	// same -faults spec injects the same pattern run over run.
@@ -297,7 +306,9 @@ func run(args []string) error {
 	if srv != nil {
 		serverReg = srv.Metrics()
 	}
-	report(cfg, serverReg, clientReg)
+	if err := report(cfg, serverReg, clientReg); err != nil {
+		return err
+	}
 	if faultTR != nil {
 		fmt.Printf("\nfault injection: %d requests, %d faulted (%v)\n",
 			faultTR.Requests(), faultTR.Injected(), faultCountString(faultTR.Counts()))
@@ -428,6 +439,14 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 		Models:   models,
 		Detector: core.DetectorConfig{AlphaDB: cfg.alphaDB, Metrics: reg},
 	}
+	// -batch mode: readings accumulate client-side and ship as binary
+	// frames — the tentpole ingest path. The buffer's own flush metrics
+	// land in the shared client registry for the report.
+	var buf *client.UploadBuffer
+	if cfg.batch > 0 {
+		buf = c.NewUploadBuffer(client.BufferConfig{FlushSize: cfg.batch})
+		defer buf.Close() //nolint:errcheck // drained below; late failures are expected traffic
+	}
 
 	center := env.Area.Center()
 	for time.Now().Before(deadline) {
@@ -467,15 +486,64 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 			})
 		}
 		// Rejections (non-converged scans above α′) are expected traffic.
-		_ = c.Upload(batch)
+		if buf != nil {
+			// A buffered frame is judged by its widest contributor's CI
+			// span, so pre-filter what a lone upload would have let the
+			// server reject — one bad scan must not poison a whole frame.
+			if batch.CISpanDB <= cfg.alphaPrime {
+				_ = buf.Add(batch)
+			}
+		} else {
+			_ = c.Upload(batch)
+		}
 	}
 	return nil
 }
 
-// report prints throughput and latency quantiles from both registries.
-func report(cfg config, server, clients *telemetry.Registry) {
+// latencyJSON is one histogram's quantile row in the -json report.
+type latencyJSON struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	P999  float64 `json:"p999_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+func latencyRow(name string, s telemetry.HistogramSnapshot) latencyJSON {
+	return latencyJSON{
+		Name: name, Count: s.Count,
+		P50: s.Quantile(0.50), P95: s.Quantile(0.95),
+		P99: s.Quantile(0.99), P999: s.Quantile(0.999), Max: s.Max,
+	}
+}
+
+// reportJSON is the machine-readable run summary (-json).
+type reportJSON struct {
+	Clients         int           `json:"clients"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	BatchSize       int           `json:"batch_size,omitempty"`
+	Scans           uint64        `json:"scans"`
+	ScansPerSec     float64       `json:"scans_per_sec"`
+	UploadsAccepted uint64        `json:"uploads_accepted"`
+	UploadsRejected uint64        `json:"uploads_rejected"`
+	FlushOK         uint64        `json:"flush_ok,omitempty"`
+	FlushFailed     uint64        `json:"flush_failed,omitempty"`
+	FlushReadings   uint64        `json:"flush_readings,omitempty"`
+	ClientLatency   []latencyJSON `json:"client_latency"`
+	ServerLatency   []latencyJSON `json:"server_latency,omitempty"`
+}
+
+// report prints throughput and latency quantiles from both registries,
+// and mirrors them to -json when asked.
+func report(cfg config, server, clients *telemetry.Registry) error {
 	scans := clients.Counter("loadgen_scans_total", "").Value()
 	secs := cfg.duration.Seconds()
+	out := reportJSON{
+		Clients: cfg.clients, DurationSeconds: secs, BatchSize: cfg.batch,
+		Scans: scans, ScansPerSec: float64(scans) / secs,
+	}
 
 	fmt.Printf("=== load report (%d clients, %v) ===\n", cfg.clients, cfg.duration)
 	fmt.Printf("scans:     %d total, %.1f scans/s\n", scans, float64(scans)/secs)
@@ -495,6 +563,14 @@ func report(cfg config, server, clients *telemetry.Registry) {
 	acc := clients.Counter("waldo_client_uploads_total", "", "outcome", "accepted").Value()
 	rej := clients.Counter("waldo_client_uploads_total", "", "outcome", "failed").Value()
 	fmt.Printf("uploads:   %d accepted, %d rejected (α′ gate)\n", acc, rej)
+	out.UploadsAccepted, out.UploadsRejected = acc, rej
+	if cfg.batch > 0 {
+		out.FlushOK = clients.Counter("waldo_client_flush_total", "", "outcome", "ok").Value()
+		out.FlushFailed = clients.Counter("waldo_client_flush_total", "", "outcome", "failed").Value()
+		out.FlushReadings = clients.Counter("waldo_client_flush_readings_total", "").Value()
+		fmt.Printf("flushes:   %d ok, %d failed, %d readings shipped in binary frames\n",
+			out.FlushOK, out.FlushFailed, out.FlushReadings)
+	}
 	hits := clients.Counter("waldo_client_model_cache_total", "", "result", "hit").Value()
 	misses := clients.Counter("waldo_client_model_cache_total", "", "result", "miss").Value()
 	if hits+misses > 0 {
@@ -503,32 +579,65 @@ func report(cfg config, server, clients *telemetry.Registry) {
 	}
 
 	fmt.Println("\nclient-side latency:")
-	printLatency("model fetch (miss)", clients.Histogram("waldo_client_model_fetch_seconds", "", nil).Snapshot())
-	printLatency("upload round-trip ", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
+	clientRow := func(display, name string, s telemetry.HistogramSnapshot) {
+		printLatency(display, s)
+		if s.Count > 0 {
+			out.ClientLatency = append(out.ClientLatency, latencyRow(name, s))
+		}
+	}
+	clientRow("model fetch (miss)", "model_fetch", clients.Histogram("waldo_client_model_fetch_seconds", "", nil).Snapshot())
+	clientRow("upload round-trip ", "upload", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
+	if cfg.batch > 0 {
+		clientRow("buffer flush      ", "flush", clients.Histogram("waldo_client_flush_seconds", "", nil).Snapshot())
+	}
 
 	if server == nil {
 		fmt.Println("\n(server-side registries live in the external cluster; scrape the gateway and shards' /metrics)")
-		return
+		return writeReportJSON(cfg.jsonPath, out)
 	}
 	fmt.Println("\nserver-side latency (per route):")
+	serverRow := func(display, name string, s telemetry.HistogramSnapshot) {
+		printLatency(display, s)
+		if s.Count > 0 {
+			out.ServerLatency = append(out.ServerLatency, latencyRow(name, s))
+		}
+	}
 	routes := collectRoutes(server)
 	for _, route := range routes {
-		printLatency(route, server.Histogram("waldo_http_request_seconds", "", nil, "route", route).Snapshot())
+		serverRow(route, route, server.Histogram("waldo_http_request_seconds", "", nil, "route", route).Snapshot())
 	}
 	fmt.Println("\nserver work:")
 	for _, scope := range collectStores(server) {
-		printLatency("rebuild "+scope, server.Histogram("waldo_updater_rebuild_seconds", "", nil, "store", scope).Snapshot())
+		serverRow("rebuild "+scope, "rebuild "+scope, server.Histogram("waldo_updater_rebuild_seconds", "", nil, "store", scope).Snapshot())
 	}
+	return writeReportJSON(cfg.jsonPath, out)
+}
+
+// writeReportJSON emits the machine-readable report ('-' = stdout).
+func writeReportJSON(path string, out reportJSON) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func printLatency(name string, s telemetry.HistogramSnapshot) {
 	if s.Count == 0 {
 		return
 	}
-	fmt.Printf("  %-22s n=%-7d p50=%-9s p95=%-9s p99=%-9s max=%s\n",
+	fmt.Printf("  %-22s n=%-7d p50=%-9s p95=%-9s p99=%-9s p999=%-9s max=%s\n",
 		name, s.Count,
 		fmtSeconds(s.Quantile(0.50)), fmtSeconds(s.Quantile(0.95)),
-		fmtSeconds(s.Quantile(0.99)), fmtSeconds(s.Max))
+		fmtSeconds(s.Quantile(0.99)), fmtSeconds(s.Quantile(0.999)), fmtSeconds(s.Max))
 }
 
 func fmtSeconds(s float64) string {

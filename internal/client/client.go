@@ -74,9 +74,14 @@ type Config struct {
 // per-location spectrum-database queries (§5), and the cached copy keeps
 // serving when the database is unreachable.
 type Client struct {
-	baseURL   string
-	resolver  func() string
-	httpc     *http.Client
+	baseURL  string
+	resolver func() string
+	httpc    *http.Client
+	// watchc serves long-poll watches: the same transport as httpc (so
+	// fault injection and test hooks still apply) but no overall timeout
+	// — a model watch parks until the server has news, which is the
+	// opposite of a bounded exchange.
+	watchc    *http.Client
 	timeout   time.Duration
 	retry     RetryPolicy
 	brk       *breaker
@@ -100,6 +105,14 @@ type Client struct {
 	uploadsFailed *telemetry.Counter
 	retriesTotal  *telemetry.Counter
 	staleServed   *telemetry.Counter
+
+	// Upload-buffer and watch telemetry (batch.go, watch.go).
+	flushOK        *telemetry.Counter
+	flushFailed    *telemetry.Counter
+	flushReadings  *telemetry.Counter
+	flushSeconds   *telemetry.Histogram
+	watchDelivered *telemetry.Counter
+	watchRearms    *telemetry.Counter
 }
 
 type cacheKey struct {
@@ -147,6 +160,7 @@ func NewWithConfig(baseURL string, cfg Config) (*Client, error) {
 		baseURL:  baseURL,
 		resolver: cfg.Resolver,
 		httpc:    cfg.HTTPClient,
+		watchc:   &http.Client{Transport: cfg.HTTPClient.Transport},
 		timeout:  cfg.Timeout,
 		retry:    cfg.Retry,
 		brk:      newBreaker(cfg.Breaker, cfg.Now),
@@ -178,6 +192,16 @@ func (c *Client) SetMetrics(reg *telemetry.Registry) {
 		"Request attempts beyond the first (backoff retries).")
 	c.staleServed = reg.Counter("waldo_client_stale_served_total",
 		"Model lookups served from the cache because the database was unreachable.")
+	const flushHelp = "Upload-buffer flushes by outcome."
+	c.flushOK = reg.Counter("waldo_client_flush_total", flushHelp, "outcome", "ok")
+	c.flushFailed = reg.Counter("waldo_client_flush_total", flushHelp, "outcome", "failed")
+	c.flushReadings = reg.Counter("waldo_client_flush_readings_total",
+		"Readings acknowledged through upload-buffer flushes.")
+	c.flushSeconds = reg.Histogram("waldo_client_flush_seconds",
+		"Upload-buffer flush round-trip latency.", nil)
+	const watchHelp = "Model watch long-poll resolutions by outcome."
+	c.watchDelivered = reg.Counter("waldo_client_watch_total", watchHelp, "outcome", "delivered")
+	c.watchRearms = reg.Counter("waldo_client_watch_total", watchHelp, "outcome", "rearm")
 	const transHelp = "Circuit breaker state transitions by destination state."
 	c.brk.stateGauge = reg.Gauge("waldo_client_breaker_state",
 		"Circuit breaker state (0 closed, 1 half-open, 2 open).")

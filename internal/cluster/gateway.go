@@ -109,6 +109,11 @@ type Gateway struct {
 	shards  map[string]*shardState
 	version string
 	httpc   *http.Client
+	// watchc serves /v1/model/watch proxy legs: same transport as httpc
+	// but no overall timeout, since a parked long-poll outliving the
+	// per-request budget is the route's point. The client's context is
+	// the leash.
+	watchc *http.Client
 
 	metrics      *telemetry.Registry
 	failovers    *telemetry.Counter
@@ -166,6 +171,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		shards:  shards,
 		version: ConfigVersion(cfg.Ring.Seed, ring.VNodes(), cfg.CellDeg, cfg.Shards),
 		httpc:   cfg.HTTPClient,
+		watchc:  &http.Client{Transport: cfg.HTTPClient.Transport},
 		metrics: cfg.Metrics,
 		failovers: cfg.Metrics.Counter("waldo_cluster_failover_total",
 			"Times the gateway advanced a shard's active endpoint after failures."),
@@ -218,8 +224,10 @@ func (g *Gateway) buildHandler() http.Handler {
 	})
 	route("GET /healthz", "/healthz", g.handleHealthz)
 	route("GET /v1/model", "/v1/model", g.handleKeyed)
+	route("GET /v1/model/watch", "/v1/model/watch", g.handleKeyed)
 	route("GET /v1/export", "/v1/export", g.handleKeyed)
 	route("POST /v1/readings", "/v1/readings", g.handleReadings)
+	route("POST /v1/upload/batch", "/v1/upload/batch", g.handleUploadBatch)
 	route("POST /v1/retrain", "/v1/retrain", g.handleRetrain)
 	route("GET /v1/stats", "/v1/stats", g.handleStats)
 	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", g.handleBroadcastAdmin)
@@ -589,10 +597,14 @@ func (g *Gateway) shardDo(r *http.Request, url string, body []byte) (*http.Respo
 		return nil, err
 	}
 	req.URL.RawQuery = r.URL.RawQuery
-	for _, h := range []string{"Content-Type", "If-None-Match", "Accept"} {
+	for _, h := range []string{"Content-Type", "If-None-Match", "Accept", dbserver.CISpanHeader} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
+	}
+	if r.URL.Path == "/v1/model/watch" {
+		// Long-polls park past any sane proxy timeout by design.
+		return g.watchc.Do(req)
 	}
 	return g.httpc.Do(req)
 }

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+// Binary batch routing: the gateway terminates POST /v1/upload/batch
+// like every other client route, but it never decodes a reading. It
+// verifies the frame (count, length, CRC), then probe-reads only the
+// four routing fields of each fixed-size record — lat, lon, channel,
+// sensor, at known byte offsets — to learn which shards own the batch.
+// Single-owner batches (the overwhelmingly common case: WSDs batch
+// locally) forward with the body byte-identical; mixed batches are split
+// by copying whole 67-byte records into per-shard frames, so the
+// readings a shard receives are bit-for-bit what the client signed with
+// its CRC — no JSON round-trip anywhere on the path.
+
+// Routing-field offsets inside one encoded reading (see
+// core.AppendReadingWire's layout).
+const (
+	recLatOff     = 8
+	recLonOff     = 16
+	recChannelOff = 24
+	recSensorOff  = 26
+)
+
+// batchLeg is one shard's share of a split binary upload: raw reading
+// records, appended in client order.
+type batchLeg struct {
+	shard   *shardState
+	records [][]byte
+}
+
+// handleUploadBatch routes a binary batch upload. Framing violations are
+// rejected at the gateway (the same checks the dbserver would make, so a
+// corrupt frame costs no shard round-trip); valid frames forward or
+// split per (shard, channel, sensor).
+func (g *Gateway) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := g.readBody(w, r)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read body: "+err.Error(), status)
+		return
+	}
+	n, err := checkBatchFrame(body)
+	if err != nil {
+		http.Error(w, "bad batch frame: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	type legKey struct {
+		shard   string
+		channel uint16
+		sensor  byte
+	}
+	record := func(i int) []byte {
+		return body[4+i*core.ReadingWireSize:][:core.ReadingWireSize]
+	}
+	keyOf := func(rec []byte) legKey {
+		lat := math.Float64frombits(binary.LittleEndian.Uint64(rec[recLatOff:]))
+		lon := math.Float64frombits(binary.LittleEndian.Uint64(rec[recLonOff:]))
+		channel := binary.LittleEndian.Uint16(rec[recChannelOff:])
+		owner := g.ring.Owner(RouteKey{
+			Channel: rfenv.Channel(channel),
+			Cell:    CellOf(geo.Point{Lat: lat, Lon: lon}, g.cfg.CellDeg),
+		})
+		return legKey{shard: owner, channel: channel, sensor: rec[recSensorOff]}
+	}
+	first := keyOf(record(0))
+	mixed := false
+	for i := 1; i < n; i++ {
+		if keyOf(record(i)) != first {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		g.forward(w, r, g.shards[first.shard], body) // byte-identical fast path
+		return
+	}
+	// Split path: group whole records per (shard, channel, sensor) in
+	// first-appearance order, then re-frame each leg (fresh count + CRC
+	// around untouched record bytes).
+	byKey := make(map[legKey]*batchLeg)
+	var legs []*batchLeg
+	for i := 0; i < n; i++ {
+		rec := record(i)
+		lk := keyOf(rec)
+		leg := byKey[lk]
+		if leg == nil {
+			leg = &batchLeg{shard: g.shards[lk.shard]}
+			byKey[lk] = leg
+			legs = append(legs, leg)
+		}
+		leg.records = append(leg.records, rec)
+	}
+	g.uploadSplits.Inc()
+	results := make([]FanoutResult, len(legs))
+	var wg sync.WaitGroup
+	for i, leg := range legs {
+		wg.Add(1)
+		go func(i int, sh *shardState, frame []byte) {
+			defer wg.Done()
+			results[i] = g.tryShard(r, sh, frame)
+		}(i, leg.shard, buildBatchFrame(leg.records))
+	}
+	wg.Wait()
+	status := results[0].Status
+	for _, res := range results {
+		if res.Status != status {
+			status = http.StatusBadGateway // mixed outcomes: make the client retry
+		}
+	}
+	w.Header().Set(ClusterVersionHeader, g.version)
+	if status/100 == 2 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(results) //nolint:errcheck // client went away
+}
+
+// checkBatchFrame validates framing (count, exact length, CRC) without
+// decoding any reading, returning the record count. It mirrors
+// core.DecodeBatchFrame's checks so the gateway and the dbserver reject
+// identical inputs.
+func checkBatchFrame(body []byte) (int, error) {
+	if len(body) < 4 {
+		return 0, fmt.Errorf("truncated: %d of 4 header bytes", len(body))
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n == 0 {
+		return 0, fmt.Errorf("frame holds no readings")
+	}
+	if n > core.MaxBatchReadings {
+		return 0, fmt.Errorf("count %d exceeds limit %d", n, core.MaxBatchReadings)
+	}
+	total := core.BatchFrameLen(n)
+	if len(body) < total {
+		return 0, fmt.Errorf("truncated: %d of %d bytes for %d readings", len(body), total, n)
+	}
+	if len(body) > total {
+		return 0, fmt.Errorf("%d trailing bytes", len(body)-total)
+	}
+	if got, want := crc32.ChecksumIEEE(body[:total-4]), binary.LittleEndian.Uint32(body[total-4:]); got != want {
+		return 0, fmt.Errorf("CRC mismatch (%08x != %08x)", got, want)
+	}
+	return n, nil
+}
+
+// buildBatchFrame frames raw reading records into one batch frame: count
+// prefix, the records byte-identical, fresh CRC.
+func buildBatchFrame(records [][]byte) []byte {
+	frame := make([]byte, 0, core.BatchFrameLen(len(records)))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(records)))
+	for _, rec := range records {
+		frame = append(frame, rec...)
+	}
+	return binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+}

@@ -104,18 +104,31 @@ func DecodeReadingsWire(b []byte) ([]dataset.Reading, []byte, error) {
 		return nil, nil, fmt.Errorf("core: reading batch truncated: missing count")
 	}
 	n := int(binary.LittleEndian.Uint32(b))
-	b = b[4:]
-	if need := n * ReadingWireSize; len(b) < need {
-		return nil, nil, fmt.Errorf("core: reading batch truncated: %d of %d bytes", len(b), need)
+	return DecodeReadingsWireInto(make([]dataset.Reading, 0, n), b)
+}
+
+// DecodeReadingsWireInto decodes a counted batch from the front of b,
+// appending the readings to dst and returning the extended slice plus the
+// unconsumed remainder. Passing a scratch slice with capacity makes the
+// decode allocation-free — the WAL replay path and the batch ingest
+// handler both lean on this. On error dst is returned unchanged.
+func DecodeReadingsWireInto(dst []dataset.Reading, b []byte) ([]dataset.Reading, []byte, error) {
+	if len(b) < 4 {
+		return dst, nil, fmt.Errorf("core: reading batch truncated: missing count")
 	}
-	rs := make([]dataset.Reading, 0, n)
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if need := n * ReadingWireSize; n > len(b)/ReadingWireSize {
+		return dst, nil, fmt.Errorf("core: reading batch truncated: %d of %d bytes", len(b), need)
+	}
+	out := dst
 	for i := 0; i < n; i++ {
 		r, err := DecodeReadingWire(b)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: reading %d: %w", i, err)
+			return dst, nil, fmt.Errorf("core: reading %d: %w", i, err)
 		}
-		rs = append(rs, r)
+		out = append(out, r)
 		b = b[ReadingWireSize:]
 	}
-	return rs, b, nil
+	return out, b, nil
 }

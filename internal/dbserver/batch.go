@@ -1,0 +1,152 @@
+package dbserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// Binary batch ingest (POST /v1/upload/batch): the high-rate alternative
+// to the JSON upload path. The body is one core batch frame (u32 count |
+// 67-byte readings | CRC32); the upload's confidence-interval span rides
+// in the CISpanHeader since the frame itself is pure readings. Per
+// reading the server still validates and (optionally) screens exactly
+// like /v1/readings, but the whole batch costs one HTTP request, one
+// allocation-free binary decode into pooled scratch, and one group-commit
+// WAL append — that is where the single-JSON path spends its 23µs/op.
+
+// CISpanHeader carries the uploader's confidence-interval span in dB on
+// binary batch uploads (the JSON path embeds it in the body instead).
+const CISpanHeader = "X-Waldo-CI-Span"
+
+// batchState carries the binary ingest path's telemetry and decode pool.
+type batchState struct {
+	uploads  *telemetry.Counter
+	readings *telemetry.Counter
+	rejected *telemetry.Counter
+	// scratch pools decode buffers ([]dataset.Reading and the body bytes)
+	// across batch requests so a steady ingest load allocates nothing per
+	// frame.
+	scratch sync.Pool
+}
+
+// batchScratch is one pooled decode workspace.
+type batchScratch struct {
+	body     bytes.Buffer
+	readings []dataset.Reading
+}
+
+func newBatchState(m *telemetry.Registry) *batchState {
+	return &batchState{
+		uploads: m.Counter("waldo_dbserver_batch_uploads_total",
+			"Binary batch uploads accepted."),
+		readings: m.Counter("waldo_dbserver_batch_readings_total",
+			"Readings accepted through the binary batch path."),
+		rejected: m.Counter("waldo_dbserver_batch_rejected_total",
+			"Binary batch uploads rejected (framing, validation, or screening)."),
+		scratch: sync.Pool{New: func() any { return new(batchScratch) }},
+	}
+}
+
+// handleUploadBatch serves POST /v1/upload/batch. Framing violations and
+// invalid readings are 400s, oversize bodies 413, screening and α′
+// rejections 422 — the same contract as the JSON path, reached ~10x
+// cheaper.
+func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	limit := s.cfg.MaxBodyBytes
+	if limit <= 0 {
+		limit = 4 << 20
+	}
+	sc := s.batch.scratch.Get().(*batchScratch)
+	defer s.batch.scratch.Put(sc)
+	sc.body.Reset()
+	if n := r.ContentLength; n > 0 && n <= limit {
+		sc.body.Grow(int(n))
+	}
+	if _, err := sc.body.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		s.batch.rejected.Inc()
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read body: "+err.Error(), status)
+		return
+	}
+	var ciSpan float64
+	if h := r.Header.Get(CISpanHeader); h != "" {
+		var err error
+		ciSpan, err = strconv.ParseFloat(h, 64)
+		if err != nil {
+			s.batch.rejected.Inc()
+			http.Error(w, "bad "+CISpanHeader+" header: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	readings, rest, err := core.DecodeBatchFrame(sc.readings[:0], sc.body.Bytes())
+	sc.readings = readings[:0] // keep grown capacity pooled even on the error paths below
+	if err != nil {
+		s.batch.rejected.Inc()
+		http.Error(w, "bad batch frame: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(rest) != 0 {
+		s.batch.rejected.Inc()
+		http.Error(w, fmt.Sprintf("bad batch frame: %d trailing bytes", len(rest)), http.StatusBadRequest)
+		return
+	}
+	status, err := s.acceptUpload(core.UploadBatch{CISpanDB: ciSpan, Readings: readings})
+	if err != nil {
+		s.batch.rejected.Inc()
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.batch.uploads.Inc()
+	s.batch.readings.Add(uint64(len(readings)))
+	s.maybeSnapshot(storeKey{readings[0].Channel, readings[0].Sensor})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// acceptUpload runs the shared tail of both upload paths: optional
+// screening against the trusted store, then the α′-gated Submit, which
+// journals the whole batch as one WAL append. On error the returned
+// status is the HTTP code to answer with. The batch's readings slice is
+// only read — callers may pool it.
+func (s *Server) acceptUpload(batch core.UploadBatch) (int, error) {
+	u, err := s.updaterFor(batch.Readings[0].Channel, batch.Readings[0].Sensor)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	if s.cfg.Screening != nil {
+		span := s.metrics.StartSpan("screen")
+		trusted := u.Readings()
+		if len(trusted) == 0 {
+			span.End()
+			return http.StatusUnprocessableEntity,
+				errors.New("store has no trusted readings to corroborate against")
+		}
+		v, err := core.NewUploadValidator(trusted, *s.cfg.Screening)
+		if err != nil {
+			span.End()
+			return http.StatusInternalServerError, err
+		}
+		filtered, err := v.FilterBatch(batch)
+		span.End()
+		if err != nil {
+			return http.StatusUnprocessableEntity,
+				fmt.Errorf("upload failed corroboration: %w", err)
+		}
+		batch = filtered
+	}
+	if err := u.Submit(batch); err != nil {
+		return http.StatusUnprocessableEntity, err
+	}
+	return 0, nil
+}

@@ -26,9 +26,22 @@
 //	                                           model version; If-None-Match
 //	                                           revalidations answer 304 with
 //	                                           no encode and no body
+//	GET  /v1/model/watch?channel=C&sensor=K&version=V
+//	                                           long-poll model delivery: parks
+//	                                           until the store's version
+//	                                           exceeds V, then answers like
+//	                                           /v1/model; 304 at the watch
+//	                                           horizon (Config.WatchTimeout)
 //	POST /v1/readings                          JSON upload (UploadJSON); α′
 //	                                           gated, optionally screened; 204
 //	                                           on acceptance
+//	POST /v1/upload/batch                      binary batch upload: one core
+//	                                           batch frame (u32 count |
+//	                                           67-byte readings | CRC32), CI
+//	                                           span in X-Waldo-CI-Span; same
+//	                                           validation/screening as the
+//	                                           JSON path, one group-commit
+//	                                           WAL append per batch
 //	POST /v1/retrain?channel=C&sensor=K        relabel + rebuild one model; the
 //	                                           new version is in
 //	                                           X-Waldo-Model-Version
@@ -123,6 +136,12 @@ type Server struct {
 	// the MaxInFlight load-shedding gate.
 	inFlight  atomic.Int64
 	shedTotal *telemetry.Counter
+
+	// batch is the binary ingest path's pooled decode state (batch.go);
+	// hub and watch drive push-based model delivery (watch.go).
+	batch *batchState
+	hub   *watchHub
+	watch watchState
 }
 
 // modelBlob is one cached encoded descriptor.
@@ -165,6 +184,10 @@ type Config struct {
 	MaxInFlight int
 	// RetryAfter is the hint advertised on shed responses; 0 means 1 s.
 	RetryAfter time.Duration
+	// WatchTimeout is the long-poll horizon of GET /v1/model/watch: a
+	// parked watch is answered 304 after this long so the client re-arms
+	// and intermediaries never see an immortal request. 0 means 55 s.
+	WatchTimeout time.Duration
 	// DataDir, when set, makes every store durable: accepted readings and
 	// retrain markers are journaled to a per-store write-ahead log under
 	// this directory, compacted into snapshots, and recovered on Open.
@@ -251,6 +274,9 @@ func New(cfg Config) *Server {
 		cacheNotMod: cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "not_modified"),
 		shedTotal: cfg.Metrics.Counter("waldo_dbserver_shed_total",
 			"Data-route requests answered 429 by the load-shedding gate."),
+		batch: newBatchState(cfg.Metrics),
+		hub:   newWatchHub(),
+		watch: newWatchState(cfg.Metrics),
 	}
 }
 
@@ -303,11 +329,13 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 	if s.cfg.Tap != nil {
 		journals = append(journals, tapJournal{tap: s.cfg.Tap, ch: ch, kind: kind})
 	}
-	switch len(journals) {
-	case 0:
-	case 1:
+	// The watch journal is always last: watchers are woken only after the
+	// WAL and the replication tap have seen the retrain, so a delivered
+	// push never races ahead of durability.
+	journals = append(journals, watchJournal{hub: s.hub, key: key})
+	if len(journals) == 1 {
 		u.SetJournal(journals[0])
-	default:
+	} else {
 		u.SetJournal(journals)
 	}
 	s.updaters[key] = u
@@ -373,7 +401,12 @@ func (s *Server) Handler() http.Handler {
 	})
 	probe("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /v1/model", "/v1/model", s.handleModel)
+	// The watch route is telemetry-wrapped but deliberately outside the
+	// shed/timeout gate: a parked long-poll is idle by design and must not
+	// consume MaxInFlight slots or be cut down by RequestTimeout.
+	probe("GET /v1/model/watch", "/v1/model/watch", s.handleModelWatch)
 	route("POST /v1/readings", "/v1/readings", s.handleReadings)
+	route("POST /v1/upload/batch", "/v1/upload/batch", s.handleUploadBatch)
 	route("POST /v1/retrain", "/v1/retrain", s.handleRetrain)
 	route("GET /v1/export", "/v1/export", s.handleExport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
@@ -592,12 +625,21 @@ func FromReading(r dataset.Reading) ReadingJSON {
 	}
 }
 
+// jsonBytesPerReading is the prealloc estimate for the JSON upload path:
+// a serialized reading with typical float precision runs ~110-160 bytes,
+// so dividing Content-Length by this floor overshoots slightly — one
+// allocation that is never regrown, instead of log2(n) doubling copies.
+const jsonBytesPerReading = 96
+
 func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 	limit := s.cfg.MaxBodyBytes
 	if limit <= 0 {
 		limit = 4 << 20
 	}
 	var up UploadJSON
+	if n := r.ContentLength; n > 0 && n <= limit {
+		up.Readings = make([]ReadingJSON, 0, int(n)/jsonBytesPerReading+1)
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(&up); err != nil {
 		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
@@ -607,7 +649,10 @@ func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty upload", http.StatusBadRequest)
 		return
 	}
-	batch := core.UploadBatch{CISpanDB: up.CISpanDB}
+	batch := core.UploadBatch{
+		CISpanDB: up.CISpanDB,
+		Readings: make([]dataset.Reading, 0, len(up.Readings)),
+	}
 	for i, rj := range up.Readings {
 		rd, err := rj.ToReading()
 		if err != nil {
@@ -616,35 +661,8 @@ func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 		}
 		batch.Readings = append(batch.Readings, rd)
 	}
-	u, err := s.updaterFor(batch.Readings[0].Channel, batch.Readings[0].Sensor)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if s.cfg.Screening != nil {
-		span := s.metrics.StartSpan("screen")
-		trusted := u.Readings()
-		if len(trusted) == 0 {
-			span.End()
-			http.Error(w, "store has no trusted readings to corroborate against", http.StatusUnprocessableEntity)
-			return
-		}
-		v, err := core.NewUploadValidator(trusted, *s.cfg.Screening)
-		if err != nil {
-			span.End()
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		filtered, err := v.FilterBatch(batch)
-		span.End()
-		if err != nil {
-			http.Error(w, "upload failed corroboration: "+err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		batch = filtered
-	}
-	if err := u.Submit(batch); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	if status, err := s.acceptUpload(batch); err != nil {
+		http.Error(w, err.Error(), status)
 		return
 	}
 	s.maybeSnapshot(storeKey{batch.Readings[0].Channel, batch.Readings[0].Sensor})

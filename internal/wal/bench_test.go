@@ -54,7 +54,10 @@ func BenchmarkAppendDurable(b *testing.B) {
 	})
 }
 
-// BenchmarkReplay measures recovery speed per record.
+// BenchmarkReplay measures recovery speed per record. The allocation
+// budget is pinned: replay must decode into the recovered slice (amortized
+// growth only), never allocate per record — a regression here multiplies
+// directly into restart time on big stores.
 func BenchmarkReplay(b *testing.B) {
 	dir := b.TempDir()
 	s, _, err := OpenStore(dir, testCh, testKind, StoreOptions{})
@@ -82,5 +85,22 @@ func BenchmarkReplay(b *testing.B) {
 			b.Fatalf("recovered %d readings", len(rec.Readings))
 		}
 		s2.Close()
+	}
+	b.StopTimer()
+	// ~0.1 allocs/record: segment reads, log-open bookkeeping, and
+	// amortized growth of the recovered slice — but nothing per record.
+	if maxAllocs := float64(records) / 10; float64(b.N) > 0 {
+		if perOp := float64(testing.AllocsPerRun(1, func() {
+			s2, rec, err := OpenStore(dir, testCh, testKind, StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rec.Readings) != records {
+				b.Fatal("short recovery")
+			}
+			s2.Close()
+		})); perOp > maxAllocs {
+			b.Fatalf("replay of %d records allocates %.0f times, budget %.0f", records, perOp, maxAllocs)
+		}
 	}
 }

@@ -135,14 +135,17 @@ func applyRecord(rec *Recovered, payload []byte) error {
 	}
 	switch payload[0] {
 	case recAppend:
-		rs, rest, err := DecodeAppendRecord(payload)
+		// Decode straight into the recovered slice: replay's hot loop
+		// costs amortized slice growth only, never a per-record
+		// intermediate batch (see BenchmarkReplay's allocs assertion).
+		rs, rest, err := core.DecodeReadingsWireInto(rec.Readings, payload[1:])
 		if err != nil {
 			return err
 		}
 		if len(rest) != 0 {
 			return fmt.Errorf("append record has %d trailing bytes", len(rest))
 		}
-		rec.Readings = append(rec.Readings, rs...)
+		rec.Readings = rs
 		return nil
 	case recRetrain:
 		version, trained, err := DecodeRetrainRecord(payload)

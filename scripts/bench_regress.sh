@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Compares two waldo-benchjson reports and fails when any benchmark
+# present in both regressed by more than the threshold (default 15%).
+# The CI gate for the ingest suite: run `make bench-ingest`, then
+#
+#   scripts/bench_regress.sh BENCH_7.baseline.json BENCH_7.json
+#
+# Benchmarks only in one report are ignored (new benchmarks don't fail
+# the gate; deleted ones don't block cleanup). Comparison is on ns/op.
+#
+# Usage: scripts/bench_regress.sh BASELINE.json CURRENT.json [threshold-pct]
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BASELINE.json CURRENT.json [threshold-pct]" >&2
+    exit 2
+fi
+BASE=$1
+CURR=$2
+THRESH=${3:-15}
+
+for f in "$BASE" "$CURR"; do
+    if [ ! -r "$f" ]; then
+        echo "bench_regress: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# extract FILE: emit "name ns_per_op" pairs from a waldo-benchjson
+# report. The format is our own tool's stable MarshalIndent output, so
+# line-oriented parsing is safe here.
+extract() {
+    awk '
+        /"name":/ {
+            gsub(/.*"name": *"|",?$/, "")
+            name = $0
+        }
+        /"ns_per_op":/ {
+            gsub(/.*"ns_per_op": *|,?$/, "")
+            if (name != "") { print name, $0; name = "" }
+        }
+    ' "$1"
+}
+
+extract "$BASE" | sort > /tmp/bench_regress_base.$$
+extract "$CURR" | sort > /tmp/bench_regress_curr.$$
+trap 'rm -f /tmp/bench_regress_base.$$ /tmp/bench_regress_curr.$$' EXIT
+
+FAILED=$(join /tmp/bench_regress_base.$$ /tmp/bench_regress_curr.$$ | awk -v t="$THRESH" '
+    {
+        base = $2; curr = $3
+        if (base > 0) {
+            pct = (curr - base) * 100.0 / base
+            printf "  %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)%s\n",
+                $1, base, curr, pct, (pct > t ? "  REGRESSED" : "")
+            if (pct > t) bad++
+        }
+    }
+    END { exit bad > 0 ? 1 : 0 }
+') && STATUS=0 || STATUS=1
+echo "$FAILED"
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "bench_regress: regression beyond ${THRESH}% detected" >&2
+    exit 1
+fi
+echo "bench_regress: OK (threshold ${THRESH}%)"
