@@ -3,13 +3,15 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest crash-test loadgen chaos cluster-test clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest bench-e2e bench-e2e-smoke crash-test loadgen chaos cluster-test clean
 
 check: vet build race
 
-# Full pre-merge verification: formatting, vet, build, tests, and the
-# sharded-cluster suite (in-process chaos harness + real-process smoke).
-verify: fmt-check vet build test cluster-test
+# Full pre-merge verification: formatting, vet, build, tests, the
+# sharded-cluster suite (in-process chaos harness + real-process smoke),
+# and a seconds-long smoke tier of the latency-SLO harness under the
+# race detector.
+verify: fmt-check vet build test cluster-test bench-e2e-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -87,6 +89,7 @@ chaos:
 cluster-test:
 	$(GO) test -race ./internal/cluster/ -count 1
 	$(GO) test -race ./internal/e2e/ -run TestCluster -count 1
+	mkdir -p bin
 	$(GO) build -o bin ./cmd/waldo-server ./cmd/waldo-gateway ./cmd/waldo-loadgen
 	scripts/cluster_smoke.sh bin
 
@@ -116,6 +119,22 @@ bench-ingest:
 	$(GO) test -bench '$(INGEST_BENCH_PATTERN)' -benchmem -benchtime 500x -run XXX ./internal/dbserver/ | tee BENCH_7.txt
 	$(GO) test -bench '$(WATCH_BENCH_PATTERN)' -benchtime 100000x -run XXX ./internal/dbserver/ | tee -a BENCH_7.txt
 	$(GO) run ./cmd/waldo-benchjson < BENCH_7.txt > BENCH_7.json
+
+# End-to-end latency-SLO harness (DESIGN.md / OPERATIONS.md §SLO): boots
+# a real in-process server (single-node and 3-shard gateway topologies),
+# drives open-loop load tiers, and APPENDS per-endpoint p50/p95/p99/p999
+# plus GC-pause percentiles to the BENCH_E2E.json trajectory. Gate the
+# last two runs with scripts/bench_regress.sh BENCH_E2E.json.
+E2E_TIERS ?= 1k=1000,10k=10000,50k=50000
+E2E_TIER_DURATION ?= 5s
+
+bench-e2e:
+	$(GO) run ./cmd/waldo-bench-e2e -out BENCH_E2E.json -tiers '$(E2E_TIERS)' -tier-duration $(E2E_TIER_DURATION)
+
+# The verify-time slice: the harness's own test suite under -race (smoke
+# tiers on both topologies plus the shutdown goroutine-leak checks).
+bench-e2e-smoke:
+	$(GO) test -race ./internal/benchharness/ -count 1
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,167 @@
+// Command waldo-bench-e2e runs the end-to-end latency-SLO harness
+// (internal/benchharness): it boots the real server stack in-process —
+// a single waldo-server and/or the sharded gateway topology — drives it
+// with open-loop load at fixed tiers, and appends the measured
+// trajectory (per-endpoint p50/p95/p99/p999 from scheduled start, GC
+// pause distribution, achieved vs offered throughput) to a
+// BENCH_E2E.json file. Appending, not overwriting: the file is the
+// repo's perf history, and scripts/bench_regress.sh gates the last two
+// runs against each other.
+//
+// Usage:
+//
+//	waldo-bench-e2e -out BENCH_E2E.json                # full 1k/10k/50k sweep
+//	waldo-bench-e2e -smoke -out BENCH_E2E.json         # seconds-long sanity tier
+//	waldo-bench-e2e -render -out BENCH_E2E.json        # print the README table
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/benchharness"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-bench-e2e:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTiers reads "name=readings/s,..." tier specs.
+func parseTiers(spec string, dur time.Duration, batch int, jsonFrac float64) ([]benchharness.Tier, error) {
+	var tiers []benchharness.Tier
+	for _, part := range strings.Split(spec, ",") {
+		name, rateStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tier %q (want name=rate)", part)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad tier rate %q", rateStr)
+		}
+		tiers = append(tiers, benchharness.Tier{
+			Name: name, Rate: rate, Duration: dur,
+			BatchSize: batch, JSONFraction: jsonFrac,
+		})
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("no tiers")
+	}
+	return tiers, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waldo-bench-e2e", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_E2E.json", "trajectory file to append the run to")
+	topologies := fs.String("topologies", "single,cluster", "comma-separated topologies to sweep (single, cluster)")
+	tiersSpec := fs.String("tiers", "1k=1000,10k=10000,50k=50000", "comma-separated name=readings/s tiers")
+	tierDur := fs.Duration("tier-duration", 5*time.Second, "load duration per tier")
+	batch := fs.Int("batch", 32, "readings per upload operation")
+	jsonFrac := fs.Float64("json-fraction", 0.2, "fraction of uploads through the JSON path")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	samples := fs.Int("samples", 300, "bootstrap campaign size per channel")
+	shards := fs.Int("shards", 3, "cluster topology shard count")
+	replicas := fs.Int("replicas", 1, "replicas per shard (cluster topology)")
+	wal := fs.Bool("wal", true, "give every server a WAL in a temp dir so tiers measure the persistence path")
+	smoke := fs.Bool("smoke", false, "run one short sanity tier instead of the full sweep")
+	render := fs.Bool("render", false, "print the latest run as a markdown table and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *render {
+		traj, err := benchharness.LoadTrajectory(*out)
+		if err != nil {
+			return err
+		}
+		table, err := traj.RenderMarkdown()
+		if err != nil {
+			return err
+		}
+		fmt.Print(table)
+		return nil
+	}
+
+	if *smoke {
+		*tiersSpec = "smoke=2000"
+		*tierDur = 1500 * time.Millisecond
+		*batch = 16
+	}
+	tiers, err := parseTiers(*tiersSpec, *tierDur, *batch, *jsonFrac)
+	if err != nil {
+		return err
+	}
+
+	run := benchharness.Run{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	for _, topo := range strings.Split(*topologies, ",") {
+		topo = strings.TrimSpace(topo)
+		cfg := benchharness.Config{
+			Topology: topo,
+			Seed:     *seed,
+			Channels: []rfenv.Channel{46, 47},
+			Samples:  *samples,
+			Shards:   *shards,
+		}
+		if topo == benchharness.TopologyCluster {
+			cfg.ReplicasPerShard = *replicas
+		}
+		if *wal {
+			dir, err := os.MkdirTemp("", "waldo-bench-e2e-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir) //nolint:errcheck // best-effort temp cleanup
+			cfg.DataDir = dir
+		}
+		fmt.Printf("=== topology %s: booting + bootstrap...\n", topo)
+		boot := time.Now()
+		h, err := benchharness.Start(cfg)
+		if err != nil {
+			return fmt.Errorf("topology %s: %w", topo, err)
+		}
+		fmt.Printf("    up at %s in %v\n", h.BaseURL, time.Since(boot).Round(time.Millisecond))
+		topoRes := benchharness.TopologyResult{Topology: topo}
+		for _, tier := range tiers {
+			fmt.Printf("    tier %-6s offered %8.0f readings/s for %v... ", tier.Name, tier.Rate, *tierDur)
+			res := h.RunTier(ctx, tier)
+			fmt.Printf("achieved %8.0f readings/s, %d GC pauses\n",
+				res.AchievedReadingsPerSec, res.GC.PauseCount)
+			topoRes.Tiers = append(topoRes.Tiers, res)
+		}
+		if err := h.Close(); err != nil {
+			return fmt.Errorf("topology %s close: %w", topo, err)
+		}
+		run.Topologies = append(run.Topologies, topoRes)
+	}
+
+	traj, err := benchharness.LoadTrajectory(*out)
+	if err != nil {
+		return err
+	}
+	traj.Append(run)
+	if err := traj.Write(*out); err != nil {
+		return err
+	}
+	fmt.Printf("\nappended run %d to %s\n\n", len(traj.Runs), *out)
+	table, err := traj.RenderMarkdown()
+	if err != nil {
+		return err
+	}
+	fmt.Print(table)
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseTiers(t *testing.T) {
+	tiers, err := parseTiers("1k=1000, 50k=50000", 2*time.Second, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 {
+		t.Fatalf("got %d tiers, want 2", len(tiers))
+	}
+	if tiers[0].Name != "1k" || tiers[0].Rate != 1000 {
+		t.Errorf("tier 0 = %+v", tiers[0])
+	}
+	if tiers[1].Name != "50k" || tiers[1].Rate != 50000 {
+		t.Errorf("tier 1 = %+v", tiers[1])
+	}
+	for _, tier := range tiers {
+		if tier.Duration != 2*time.Second || tier.BatchSize != 16 || tier.JSONFraction != 0.25 {
+			t.Errorf("tier options not threaded through: %+v", tier)
+		}
+	}
+}
+
+func TestParseTiersRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"", "noequals", "x=", "x=-5", "x=abc"} {
+		if _, err := parseTiers(spec, time.Second, 16, 0); err == nil {
+			t.Errorf("parseTiers(%q) accepted a bad spec", spec)
+		}
+	}
+}

@@ -60,6 +60,114 @@ func TestRunPropagatesFailure(t *testing.T) {
 	}
 }
 
+func TestRunParsesFractionalNsAndCustomMetrics(t *testing.T) {
+	// Fast benchmarks report fractional ns/op, and harness benchmarks
+	// attach custom b.ReportMetric units like readings/s; both must
+	// survive the round-trip exactly.
+	const input = `pkg: github.com/wsdetect/waldo/internal/wal
+BenchmarkAppend-8   	 8213988	       0.8457 ns/op	  118236 readings/s	       3 B/op
+PASS
+`
+	var buf bytes.Buffer
+	sc := bufio.NewScanner(strings.NewReader(input))
+	if err := run(sc, json.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.NsPerOp != 0.8457 {
+		t.Errorf("ns/op = %v, want fractional 0.8457", b.NsPerOp)
+	}
+	if b.Metrics["readings/s"] != 118236 {
+		t.Errorf("custom metric readings/s = %v, want 118236", b.Metrics["readings/s"])
+	}
+	if b.Metrics["B/op"] != 3 {
+		t.Errorf("B/op = %v, want 3", b.Metrics["B/op"])
+	}
+}
+
+func TestRunTracksPackagePerBenchmark(t *testing.T) {
+	// Multi-package output: each benchmark must carry the pkg: line it
+	// appeared under, not the last one seen overall.
+	const input = `pkg: example.com/a
+BenchmarkOne-4 	 100	 10.0 ns/op
+pkg: example.com/b
+BenchmarkTwo-4 	 100	 20.0 ns/op
+`
+	var buf bytes.Buffer
+	sc := bufio.NewScanner(strings.NewReader(input))
+	if err := run(sc, json.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Package != "example.com/a" || rep.Benchmarks[1].Package != "example.com/b" {
+		t.Errorf("packages = %q, %q", rep.Benchmarks[0].Package, rep.Benchmarks[1].Package)
+	}
+}
+
+func TestRunRejectsMalformedBenchmarkLines(t *testing.T) {
+	// A line that names a benchmark but doesn't parse is corrupt
+	// output; the tool must exit non-zero, not skip the measurement.
+	for _, input := range []string{
+		"BenchmarkX notanint 5 ns/op\n",
+		"BenchmarkY 100 garbage ns/op\n",
+		"BenchmarkZ 100\n",
+	} {
+		sc := bufio.NewScanner(strings.NewReader(input))
+		if err := run(sc, json.NewEncoder(&bytes.Buffer{})); err == nil {
+			t.Errorf("run accepted malformed input %q", input)
+		}
+	}
+}
+
+func TestExtractE2EFlattensLatestRun(t *testing.T) {
+	const traj = `{
+	  "format": "bench_e2e/v1",
+	  "runs": [
+	    {"time": "old", "topologies": [{"topology": "single", "tiers": [
+	      {"name": "1k", "endpoints": [{"endpoint": "model", "count": 10, "p99_seconds": 0.001}],
+	       "gc": {"pause_count": 2, "pause_p99_seconds": 0.0001}}]}]},
+	    {"time": "new", "topologies": [{"topology": "single", "tiers": [
+	      {"name": "1k", "endpoints": [{"endpoint": "model", "count": 10, "p99_seconds": 0.002}],
+	       "gc": {"pause_count": 2, "pause_p99_seconds": 0.0002}}]}]}
+	  ]
+	}`
+	var out bytes.Buffer
+	if err := extractE2E(strings.NewReader(traj), &out, -1); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	want := "e2e/single/1k/gc_pause/p99 200000\ne2e/single/1k/model/p99 2000000\n"
+	if got != want {
+		t.Errorf("latest run flatten:\ngot  %q\nwant %q", got, want)
+	}
+	out.Reset()
+	if err := extractE2E(strings.NewReader(traj), &out, -2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "e2e/single/1k/model/p99 1000000") {
+		t.Errorf("run -2 flatten = %q", out.String())
+	}
+	if err := extractE2E(strings.NewReader(traj), &bytes.Buffer{}, -3); err == nil {
+		t.Error("out-of-range run index must error")
+	}
+	if err := extractE2E(strings.NewReader(`{"format":"bench/v0"}`), &bytes.Buffer{}, -1); err == nil {
+		t.Error("wrong format must error")
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"",

@@ -15,6 +15,16 @@
 // external setup. Add -metrics to dump the raw Prometheus exposition
 // after the report.
 //
+// The default drive mode is closed-loop: each client starts its next
+// cycle only when the previous one finishes, so a slowing server quietly
+// lowers the offered load and hides its own queueing delay (coordinated
+// omission). -rate switches to an open-loop schedule: cycles are planned
+// at the fixed offered rate, latency is measured from each cycle's
+// scheduled start, and sends the client pool cannot absorb are reported
+// as dropped/late instead of silently stretching the plan:
+//
+//	waldo-loadgen -clients 16 -rate 500 -duration 10s
+//
 // -faults replays a seeded fault schedule (internal/faultinject) on
 // every client's transport, exercising the resilience layer under load:
 //
@@ -30,6 +40,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/benchharness"
 	"github.com/wsdetect/waldo/internal/client"
 	"github.com/wsdetect/waldo/internal/cluster"
 	"github.com/wsdetect/waldo/internal/core"
@@ -67,6 +79,7 @@ func main() {
 
 type config struct {
 	clients     int
+	rate        float64
 	duration    time.Duration
 	channels    []rfenv.Channel
 	samples     int
@@ -86,6 +99,7 @@ type config struct {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("waldo-loadgen", flag.ContinueOnError)
 	clients := fs.Int("clients", 8, "concurrent WSD clients")
+	rate := fs.Float64("rate", 0, "open-loop offered scan-cycle rate per second across all clients (0 = closed loop)")
 	duration := fs.Duration("duration", 5*time.Second, "load duration")
 	channelsStr := fs.String("channels", "46,47", "comma-separated TV channels")
 	samples := fs.Int("samples", 600, "bootstrap campaign size per channel")
@@ -105,6 +119,7 @@ func parseFlags(args []string) (config, error) {
 	}
 	cfg := config{
 		clients:     *clients,
+		rate:        *rate,
 		duration:    *duration,
 		samples:     *samples,
 		clusterK:    *clusterK,
@@ -265,8 +280,13 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("server:    %s (in-process)\n", baseURL)
 	}
-	fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
-		cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+	if cfg.rate > 0 {
+		fmt.Printf("load:      open-loop %.1f cycles/s over %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
+			cfg.rate, cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+	} else {
+		fmt.Printf("load:      %d clients × %v, α=%.2f dB, α′=%.2f dB\n",
+			cfg.clients, cfg.duration, cfg.alphaDB, cfg.alphaPrime)
+	}
 	if cfg.batch > 0 {
 		fmt.Printf("batching:  binary frames, flush at %d readings\n", cfg.batch)
 	}
@@ -282,22 +302,31 @@ func run(args []string) error {
 	}
 	fmt.Println()
 
-	// --- Closed-loop load: N concurrent WSD clients. ---
+	// --- Load: N concurrent WSD clients, closed- or open-loop. ---
 	clientReg := telemetry.New()
 	scansTotal := clientReg.Counter("loadgen_scans_total", "Completed channel scans.")
 	var workerErr atomic.Value // first fatal worker error
 	deadline := time.Now().Add(cfg.duration)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.clients; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			if err := driveClient(cfg, env, baseURL, faultTR, clientReg, scansTotal, seedLocs, deadline, worker); err != nil {
-				workerErr.CompareAndSwap(nil, err)
-			}
-		}(w)
+	var olStats *benchharness.OpenLoopStats
+	if cfg.rate > 0 {
+		stats, err := runOpenLoop(cfg, env, baseURL, faultTR, clientReg, scansTotal, seedLocs, deadline, &workerErr)
+		if err != nil {
+			return err
+		}
+		olStats = &stats
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.clients; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				if err := driveClient(cfg, env, baseURL, faultTR, clientReg, scansTotal, seedLocs, deadline, worker); err != nil {
+					workerErr.CompareAndSwap(nil, err)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	if err, ok := workerErr.Load().(error); ok && err != nil {
 		return err
 	}
@@ -306,7 +335,7 @@ func run(args []string) error {
 	if srv != nil {
 		serverReg = srv.Metrics()
 	}
-	if err := report(cfg, serverReg, clientReg); err != nil {
+	if err := report(cfg, serverReg, clientReg, olStats); err != nil {
 		return err
 	}
 	if faultTR != nil {
@@ -384,23 +413,36 @@ func dumpURL(url string) error {
 	return err
 }
 
-// driveClient runs one WSD's closed loop until the deadline: download the
-// area's models once (cache hits afterwards), then scan at random metro
-// locations and upload every converged decision's readings. With a fault
-// transport installed, transient client errors are expected traffic —
-// the resilience layer (retries, stale-serve, breaker) absorbs them and
-// the loop presses on.
-func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
+// wsdWorker is one simulated WSD: its radio, client, detector, and
+// optional upload buffer, with the per-cycle scan/upload loop factored
+// out so both drive modes (closed-loop driveClient, open-loop
+// runOpenLoop) share it.
+type wsdWorker struct {
+	cfg         config
+	rng         *rand.Rand
+	radio       *client.SimRadio
+	c           *client.Client
+	wsd         *client.WSD
+	buf         *client.UploadBuffer
+	scans       *telemetry.Counter
+	faulty      bool
+	gatewayMode bool
+	center      geo.Point
+}
+
+// newWSDWorker calibrates a simulated radio and downloads the initial
+// models. deadline bounds the fault-mode retry of the initial fetch.
+func newWSDWorker(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
 	reg *telemetry.Registry, scans *telemetry.Counter, seedLocs map[rfenv.Channel]geo.Point,
-	deadline time.Time, worker int) error {
+	deadline time.Time, worker int) (*wsdWorker, error) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(worker)*7919))
 	spec, err := sensor.SpecFor(sensor.KindRTLSDR)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dev := sensor.NewDevice(spec)
 	if err := sensor.CalibrateAndInstall(dev, rng, sensor.CalibrationConfig{}); err != nil {
-		return err
+		return nil, err
 	}
 	radio := &client.SimRadio{Env: env, Device: dev, Rng: rng}
 
@@ -414,7 +456,7 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 		Breaker:    client.BreakerPolicy{Cooldown: 100 * time.Millisecond},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c.SetMetrics(reg)
 	gatewayMode := cfg.gateway != ""
@@ -430,74 +472,146 @@ func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *fa
 			m, _, err = c.Model(ch, sensor.KindRTLSDR)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		models[ch] = m
 	}
-	wsd := &client.WSD{
-		Radio:    radio,
-		Models:   models,
-		Detector: core.DetectorConfig{AlphaDB: cfg.alphaDB, Metrics: reg},
+	w := &wsdWorker{
+		cfg:   cfg,
+		rng:   rng,
+		radio: radio,
+		c:     c,
+		wsd: &client.WSD{
+			Radio:    radio,
+			Models:   models,
+			Detector: core.DetectorConfig{AlphaDB: cfg.alphaDB, Metrics: reg},
+		},
+		scans:       scans,
+		faulty:      faultTR != nil,
+		gatewayMode: gatewayMode,
+		center:      env.Area.Center(),
 	}
 	// -batch mode: readings accumulate client-side and ship as binary
 	// frames — the tentpole ingest path. The buffer's own flush metrics
 	// land in the shared client registry for the report.
-	var buf *client.UploadBuffer
 	if cfg.batch > 0 {
-		buf = c.NewUploadBuffer(client.BufferConfig{FlushSize: cfg.batch})
-		defer buf.Close() //nolint:errcheck // drained below; late failures are expected traffic
+		w.buf = c.NewUploadBuffer(client.BufferConfig{FlushSize: cfg.batch})
+	}
+	return w, nil
+}
+
+// close releases the upload buffer (final flush; late failures are
+// expected traffic).
+func (w *wsdWorker) close() {
+	if w.buf != nil {
+		w.buf.Close() //nolint:errcheck // late flush failures are expected traffic
+	}
+}
+
+// cycle runs one scan/upload round: re-fetch the model through the
+// cache, sense a random metro location, upload the decision's readings.
+// Transient outages (faults, unowned cells) return nil — the resilience
+// layer absorbs them; only simulation failures are fatal.
+func (w *wsdWorker) cycle() error {
+	// Re-fetch through the cache each cycle: this is the Local Model
+	// Parameters Updater path, and it keeps /v1/model load realistic
+	// (cache hits locally, occasional misses after invalidation).
+	ch := w.cfg.channels[w.rng.Intn(len(w.cfg.channels))]
+	loc := w.center.Offset(w.rng.Float64()*360, w.rng.Float64()*12000)
+	if w.gatewayMode {
+		// The hint routes model fetches to the shard owning this
+		// position's cell — the same shard the upload below hits.
+		w.c.SetLocationHint(loc)
+	}
+	if w.rng.Float64() < 0.02 {
+		w.c.Invalidate(ch, sensor.KindRTLSDR)
+	}
+	if _, _, err := w.c.Model(ch, sensor.KindRTLSDR); err != nil {
+		if w.faulty || w.gatewayMode {
+			return nil // outage or unowned cell past the retry budget
+		}
+		return err
 	}
 
-	center := env.Area.Center()
+	w.radio.SetPosition(loc)
+	cs, err := w.wsd.SenseChannel(ch, loc)
+	if err != nil {
+		return err
+	}
+	w.scans.Inc()
+
+	// Upload the decision's readings; the server's α′ gate decides.
+	batch := core.UploadBatch{CISpanDB: cs.Decision.CISpanDB}
+	for i := 0; i < w.cfg.uploadBatch; i++ {
+		batch.Readings = append(batch.Readings, dataset.Reading{
+			Seq: i, Loc: loc, Channel: ch, Sensor: sensor.KindRTLSDR,
+			Signal: cs.Decision.Signal,
+		})
+	}
+	// Rejections (non-converged scans above α′) are expected traffic.
+	if w.buf != nil {
+		// A buffered frame is judged by its widest contributor's CI
+		// span, so pre-filter what a lone upload would have let the
+		// server reject — one bad scan must not poison a whole frame.
+		if batch.CISpanDB <= w.cfg.alphaPrime {
+			_ = w.buf.Add(batch)
+		}
+	} else {
+		_ = w.c.Upload(batch)
+	}
+	return nil
+}
+
+// driveClient runs one WSD's closed loop until the deadline. Closed
+// loop means the offered load tracks the server's speed — fine for
+// soak/fault runs; use -rate for latency measurements.
+func driveClient(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
+	reg *telemetry.Registry, scans *telemetry.Counter, seedLocs map[rfenv.Channel]geo.Point,
+	deadline time.Time, worker int) error {
+	w, err := newWSDWorker(cfg, env, baseURL, faultTR, reg, scans, seedLocs, deadline, worker)
+	if err != nil {
+		return err
+	}
+	defer w.close()
 	for time.Now().Before(deadline) {
-		// Re-fetch through the cache each cycle: this is the Local Model
-		// Parameters Updater path, and it keeps /v1/model load realistic
-		// (cache hits locally, occasional misses after invalidation).
-		ch := cfg.channels[rng.Intn(len(cfg.channels))]
-		loc := center.Offset(rng.Float64()*360, rng.Float64()*12000)
-		if gatewayMode {
-			// The hint routes model fetches to the shard owning this
-			// position's cell — the same shard the upload below hits.
-			c.SetLocationHint(loc)
-		}
-		if rng.Float64() < 0.02 {
-			c.Invalidate(ch, sensor.KindRTLSDR)
-		}
-		if _, _, err := c.Model(ch, sensor.KindRTLSDR); err != nil {
-			if faultTR != nil || gatewayMode {
-				continue // outage or unowned cell past the retry budget
-			}
+		if err := w.cycle(); err != nil {
 			return err
-		}
-
-		radio.SetPosition(loc)
-		cs, err := wsd.SenseChannel(ch, loc)
-		if err != nil {
-			return err
-		}
-		scans.Inc()
-
-		// Upload the decision's readings; the server's α′ gate decides.
-		batch := core.UploadBatch{CISpanDB: cs.Decision.CISpanDB}
-		for i := 0; i < cfg.uploadBatch; i++ {
-			batch.Readings = append(batch.Readings, dataset.Reading{
-				Seq: i, Loc: loc, Channel: ch, Sensor: sensor.KindRTLSDR,
-				Signal: cs.Decision.Signal,
-			})
-		}
-		// Rejections (non-converged scans above α′) are expected traffic.
-		if buf != nil {
-			// A buffered frame is judged by its widest contributor's CI
-			// span, so pre-filter what a lone upload would have let the
-			// server reject — one bad scan must not poison a whole frame.
-			if batch.CISpanDB <= cfg.alphaPrime {
-				_ = buf.Add(batch)
-			}
-		} else {
-			_ = c.Upload(batch)
 		}
 	}
 	return nil
+}
+
+// runOpenLoop drives the worker pool at a fixed offered cycle rate
+// through the coordinated-omission-safe scheduler: send times are
+// planned in advance, cycle latency is measured from the *scheduled*
+// send, and sends the pool cannot absorb are counted (dropped/late)
+// instead of silently stretching the schedule — the closed-loop mode's
+// bias. Each worker index owns one wsdWorker, so worker state needs no
+// locking.
+func runOpenLoop(cfg config, env *rfenv.Environment, baseURL string, faultTR *faultinject.Transport,
+	reg *telemetry.Registry, scans *telemetry.Counter, seedLocs map[rfenv.Channel]geo.Point,
+	deadline time.Time, workerErr *atomic.Value) (benchharness.OpenLoopStats, error) {
+	workers := make([]*wsdWorker, cfg.clients)
+	for i := range workers {
+		w, err := newWSDWorker(cfg, env, baseURL, faultTR, reg, scans, seedLocs, deadline, i)
+		if err != nil {
+			return benchharness.OpenLoopStats{}, err
+		}
+		workers[i] = w
+		defer w.close()
+	}
+	cycleHist := reg.Histogram("loadgen_cycle_seconds",
+		"Scan/upload cycle latency measured from the scheduled send (open-loop mode).", nil)
+	stats := benchharness.RunOpenLoop(context.Background(), benchharness.OpenLoopConfig{
+		Rate: cfg.rate, Workers: cfg.clients, Duration: cfg.duration,
+	}, func(worker int, scheduled time.Time) {
+		if err := workers[worker].cycle(); err != nil {
+			workerErr.CompareAndSwap(nil, err)
+			return
+		}
+		cycleHist.Observe(time.Since(scheduled).Seconds())
+	})
+	return stats, nil
 }
 
 // latencyJSON is one histogram's quantile row in the -json report.
@@ -521,23 +635,31 @@ func latencyRow(name string, s telemetry.HistogramSnapshot) latencyJSON {
 
 // reportJSON is the machine-readable run summary (-json).
 type reportJSON struct {
-	Clients         int           `json:"clients"`
-	DurationSeconds float64       `json:"duration_seconds"`
-	BatchSize       int           `json:"batch_size,omitempty"`
-	Scans           uint64        `json:"scans"`
-	ScansPerSec     float64       `json:"scans_per_sec"`
-	UploadsAccepted uint64        `json:"uploads_accepted"`
-	UploadsRejected uint64        `json:"uploads_rejected"`
-	FlushOK         uint64        `json:"flush_ok,omitempty"`
-	FlushFailed     uint64        `json:"flush_failed,omitempty"`
-	FlushReadings   uint64        `json:"flush_readings,omitempty"`
-	ClientLatency   []latencyJSON `json:"client_latency"`
-	ServerLatency   []latencyJSON `json:"server_latency,omitempty"`
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	BatchSize       int     `json:"batch_size,omitempty"`
+	// Open-loop (-rate) schedule accounting: dropped sends never
+	// reached the server; late sends started behind schedule (their
+	// latency still includes the wait).
+	OfferedCyclesPerSec float64       `json:"offered_cycles_per_sec,omitempty"`
+	ScheduledSends      uint64        `json:"scheduled_sends,omitempty"`
+	DroppedSends        uint64        `json:"dropped_sends,omitempty"`
+	LateSends           uint64        `json:"late_sends,omitempty"`
+	Scans               uint64        `json:"scans"`
+	ScansPerSec         float64       `json:"scans_per_sec"`
+	UploadsAccepted     uint64        `json:"uploads_accepted"`
+	UploadsRejected     uint64        `json:"uploads_rejected"`
+	FlushOK             uint64        `json:"flush_ok,omitempty"`
+	FlushFailed         uint64        `json:"flush_failed,omitempty"`
+	FlushReadings       uint64        `json:"flush_readings,omitempty"`
+	ClientLatency       []latencyJSON `json:"client_latency"`
+	ServerLatency       []latencyJSON `json:"server_latency,omitempty"`
 }
 
 // report prints throughput and latency quantiles from both registries,
-// and mirrors them to -json when asked.
-func report(cfg config, server, clients *telemetry.Registry) error {
+// and mirrors them to -json when asked. ol carries the open-loop
+// schedule accounting (nil in closed-loop mode).
+func report(cfg config, server, clients *telemetry.Registry, ol *benchharness.OpenLoopStats) error {
 	scans := clients.Counter("loadgen_scans_total", "").Value()
 	secs := cfg.duration.Seconds()
 	out := reportJSON{
@@ -547,6 +669,12 @@ func report(cfg config, server, clients *telemetry.Registry) error {
 
 	fmt.Printf("=== load report (%d clients, %v) ===\n", cfg.clients, cfg.duration)
 	fmt.Printf("scans:     %d total, %.1f scans/s\n", scans, float64(scans)/secs)
+	if ol != nil {
+		out.OfferedCyclesPerSec = cfg.rate
+		out.ScheduledSends, out.DroppedSends, out.LateSends = ol.Scheduled, ol.Dropped, ol.Late
+		fmt.Printf("open-loop: %d sends scheduled at %.1f/s, %d dropped (backlog full), %d late starts\n",
+			ol.Scheduled, cfg.rate, ol.Dropped, ol.Late)
+	}
 
 	decTotal := uint64(0)
 	for _, label := range []string{"safe", "not-safe"} {
@@ -589,6 +717,9 @@ func report(cfg config, server, clients *telemetry.Registry) error {
 	clientRow("upload round-trip ", "upload", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
 	if cfg.batch > 0 {
 		clientRow("buffer flush      ", "flush", clients.Histogram("waldo_client_flush_seconds", "", nil).Snapshot())
+	}
+	if ol != nil {
+		clientRow("cycle (from sched)", "cycle", clients.Histogram("loadgen_cycle_seconds", "", nil).Snapshot())
 	}
 
 	if server == nil {

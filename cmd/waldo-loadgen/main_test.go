@@ -41,3 +41,19 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunOpenLoopEndToEnd exercises the -rate (open-loop) drive mode,
+// including the scheduled-send accounting in the JSON report.
+func TestRunOpenLoopEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	err := run([]string{
+		"-clients", "2", "-rate", "40", "-duration", "400ms",
+		"-channels", "47", "-samples", "300", "-clusters", "1",
+		"-json", t.TempDir() + "/report.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

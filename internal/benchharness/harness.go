@@ -1,0 +1,799 @@
+package benchharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/cluster"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/rfenv"
+	"github.com/wsdetect/waldo/internal/sensor"
+	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wardrive"
+)
+
+// Topology names for Config.Topology.
+const (
+	TopologySingle  = "single"
+	TopologyCluster = "cluster"
+)
+
+// Config parameterizes the system under test. The zero value is a
+// usable single-server setup.
+type Config struct {
+	// Topology selects the system under test: TopologySingle boots one
+	// dbserver; TopologyCluster boots Shards shard nodes (each with
+	// ReplicasPerShard replicas) behind a routing gateway, all
+	// in-process on real sockets. Empty means single.
+	Topology string
+	// Seed drives the bootstrap campaign simulation. 0 means 42.
+	Seed int64
+	// Channels are the TV channels carrying upload and model-fetch
+	// traffic. Empty means {46, 47}.
+	Channels []rfenv.Channel
+	// WatchChannel carries the retrain + long-poll watch traffic. It is
+	// deliberately separate from Channels: its store stays at bootstrap
+	// size, so periodic retrains cost the same in every tier instead of
+	// growing with the readings the upload stream has landed so far.
+	// 0 means 48.
+	WatchChannel rfenv.Channel
+	// Samples sizes the bootstrap campaign per channel. 0 means 300.
+	Samples int
+	// ClusterK is the model's locality count. 0 means 3.
+	ClusterK int
+	// AlphaPrimeDB is the upload acceptance CI span. 0 means 1 dB.
+	AlphaPrimeDB float64
+	// Shards is the cluster topology's shard count. 0 means 3.
+	Shards int
+	// ReplicasPerShard adds replicas (and live replication shipping)
+	// behind each shard. 0 means none.
+	ReplicasPerShard int
+	// CellDeg is the gateway's geo-cell routing quantum. 0 means
+	// cluster.DefaultCellDeg.
+	CellDeg float64
+	// DataDir, when set, gives every server a WAL under a subdirectory
+	// so tiers measure the group-commit persistence path too. Empty
+	// means in-memory stores.
+	DataDir string
+}
+
+func (c *Config) defaults() {
+	if c.Topology == "" {
+		c.Topology = TopologySingle
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Channels) == 0 {
+		c.Channels = []rfenv.Channel{46, 47}
+	}
+	if c.WatchChannel == 0 {
+		c.WatchChannel = 48
+	}
+	if c.Samples <= 0 {
+		c.Samples = 300
+	}
+	if c.ClusterK <= 0 {
+		c.ClusterK = 3
+	}
+	if c.AlphaPrimeDB <= 0 {
+		c.AlphaPrimeDB = 1.0
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.CellDeg <= 0 {
+		c.CellDeg = cluster.DefaultCellDeg
+	}
+}
+
+// Tier is one fixed offered load level.
+type Tier struct {
+	// Name labels the tier in the trajectory (e.g. "1k").
+	Name string
+	// Rate is the offered upload throughput in readings per second; the
+	// upload stream runs at Rate/BatchSize operations per second.
+	Rate float64
+	// Duration is how long the tier's streams run. 0 means 5s.
+	Duration time.Duration
+	// BatchSize is readings per upload operation. 0 means 32.
+	BatchSize int
+	// JSONFraction routes this fraction of upload operations through
+	// the JSON /v1/readings path instead of binary /v1/upload/batch.
+	JSONFraction float64
+	// ModelRate is the concurrent model-fetch stream's rate in
+	// operations per second. 0 means max(10, Rate/500).
+	ModelRate float64
+	// Watchers is how many long-poll /v1/model/watch clients stay
+	// parked on WatchChannel through the tier. 0 means 8; negative
+	// means none.
+	Watchers int
+	// RetrainEvery is the watch channel's retrain period (each retrain
+	// wakes every watcher). 0 means 1s; negative means never.
+	RetrainEvery time.Duration
+	// Workers bounds each stream's operation concurrency. 0 means 32.
+	Workers int
+}
+
+func (t *Tier) defaults() {
+	if t.Duration <= 0 {
+		t.Duration = 5 * time.Second
+	}
+	if t.BatchSize <= 0 {
+		t.BatchSize = 32
+	}
+	if t.ModelRate <= 0 {
+		t.ModelRate = math.Max(10, t.Rate/500)
+	}
+	if t.Watchers == 0 {
+		t.Watchers = 8
+	}
+	if t.Watchers < 0 {
+		t.Watchers = 0
+	}
+	if t.RetrainEvery == 0 {
+		t.RetrainEvery = time.Second
+	}
+	if t.Workers <= 0 {
+		t.Workers = 32
+	}
+}
+
+// payload is one pre-encoded upload, confined to a single (channel,
+// geo-cell) key like a real WSD's locally-buffered batch — so the
+// gateway's fast path (no split) carries it, and the harness's hot loop
+// does zero encoding work.
+type payload struct {
+	ch    rfenv.Channel
+	loc   geo.Point
+	frame []byte // binary batch frame for POST /v1/upload/batch
+	json  []byte // UploadJSON body for POST /v1/readings
+}
+
+// Harness is a booted system under test plus the campaign data to load
+// it with. Start it once, run any number of tiers, Close it.
+type Harness struct {
+	cfg     Config
+	BaseURL string
+
+	// httpc carries the bounded-latency load streams; watchc shares its
+	// transport but has no overall timeout, because a parked long-poll
+	// outliving a request budget is the watch route's point.
+	httpc  *http.Client
+	watchc *http.Client
+
+	srv       *dbserver.Server   // single topology
+	singleTS  *httptest.Server   // single topology
+	nodes     []*cluster.Node    // cluster topology, primaries then replicas
+	shardTS   []*httptest.Server // cluster topology
+	gw        *cluster.Gateway
+	gatewayTS *httptest.Server
+
+	// groups holds the campaign readings per upload channel, split by
+	// geo cell; seedLoc is a routing hint per channel whose owning
+	// shard is guaranteed to hold that channel's data.
+	groups  map[rfenv.Channel][][]dataset.Reading
+	seedLoc map[rfenv.Channel]geo.Point
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start simulates the bootstrap campaign, boots the configured
+// topology on real sockets, and seeds it with trained models on every
+// channel (including the watch channel).
+func Start(cfg Config) (*Harness, error) {
+	cfg.defaults()
+	h := &Harness{cfg: cfg}
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	h.httpc = &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	h.watchc = &http.Client{Transport: tr}
+
+	all, err := h.campaign()
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Topology {
+	case TopologySingle:
+		err = h.startSingle(all)
+	case TopologyCluster:
+		err = h.startCluster(all)
+	default:
+		err = fmt.Errorf("benchharness: unknown topology %q", cfg.Topology)
+	}
+	if err != nil {
+		h.Close() //nolint:errcheck // surfacing the boot error
+		return nil, err
+	}
+	return h, nil
+}
+
+// campaign simulates the war-driving bootstrap and indexes its readings
+// by (channel, cell) for the payload pools.
+func (h *Harness) campaign() ([]dataset.Reading, error) {
+	channels := append(append([]rfenv.Channel(nil), h.cfg.Channels...), h.cfg.WatchChannel)
+	env, err := rfenv.BuildMetro(uint64(h.cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	route, err := wardrive.GenerateRoute(wardrive.RouteConfig{
+		Area: env.Area, Samples: h.cfg.Samples, Seed: h.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rtl, err := sensor.SpecFor(sensor.KindRTLSDR)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := wardrive.Run(wardrive.CampaignConfig{
+		Env: env, Route: route,
+		Sensors:  []sensor.Spec{rtl},
+		Channels: channels,
+		Seed:     h.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []dataset.Reading
+	h.groups = make(map[rfenv.Channel][][]dataset.Reading)
+	h.seedLoc = make(map[rfenv.Channel]geo.Point)
+	for _, ch := range channels {
+		rs := camp.Readings(ch, sensor.KindRTLSDR)
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("benchharness: campaign produced no readings for channel %d", int(ch))
+		}
+		all = append(all, rs...)
+		h.seedLoc[ch] = rs[0].Loc
+		byCell := make(map[cluster.Cell][]dataset.Reading)
+		for _, r := range rs {
+			cell := cluster.CellOf(r.Loc, h.cfg.CellDeg)
+			byCell[cell] = append(byCell[cell], r)
+		}
+		for _, group := range byCell {
+			h.groups[ch] = append(h.groups[ch], group)
+		}
+	}
+	return all, nil
+}
+
+// dbConfig is the per-server dbserver configuration; name scopes the
+// optional WAL directory.
+func (h *Harness) dbConfig(name string) dbserver.Config {
+	cfg := dbserver.Config{
+		Constructor:  core.ConstructorConfig{ClusterK: h.cfg.ClusterK, Seed: h.cfg.Seed},
+		AlphaPrimeDB: h.cfg.AlphaPrimeDB,
+	}
+	if h.cfg.DataDir != "" {
+		cfg.DataDir = h.cfg.DataDir + "/" + name
+	}
+	return cfg
+}
+
+// startSingle boots one dbserver and bootstraps it directly.
+func (h *Harness) startSingle(all []dataset.Reading) error {
+	srv, err := dbserver.Open(h.dbConfig("single"))
+	if err != nil {
+		return err
+	}
+	h.srv = srv
+	if err := srv.Bootstrap(all); err != nil {
+		return err
+	}
+	h.singleTS = httptest.NewServer(srv.Handler())
+	h.BaseURL = h.singleTS.URL
+	return nil
+}
+
+// startCluster boots replicas first (their apply endpoints must exist
+// before a primary's shipper starts), then primaries, then the gateway,
+// and bootstraps through the gateway's routed upload path so each
+// (channel, cell) group lands on its owning shard.
+func (h *Harness) startCluster(all []dataset.Reading) error {
+	var specs []cluster.ShardSpec
+	for i := 0; i < h.cfg.Shards; i++ {
+		var replicaURLs []string
+		for r := 0; r < h.cfg.ReplicasPerShard; r++ {
+			name := fmt.Sprintf("shard%d-replica%d", i, r)
+			rep, err := cluster.OpenNode(cluster.NodeConfig{ID: name, DB: h.dbConfig(name)})
+			if err != nil {
+				return err
+			}
+			h.nodes = append(h.nodes, rep)
+			ts := httptest.NewServer(rep.Handler())
+			h.shardTS = append(h.shardTS, ts)
+			replicaURLs = append(replicaURLs, ts.URL)
+		}
+		name := fmt.Sprintf("shard%d", i)
+		prim, err := cluster.OpenNode(cluster.NodeConfig{
+			ID: name, DB: h.dbConfig(name), ReplicaURLs: replicaURLs,
+		})
+		if err != nil {
+			return err
+		}
+		h.nodes = append(h.nodes, prim)
+		ts := httptest.NewServer(prim.Handler())
+		h.shardTS = append(h.shardTS, ts)
+		specs = append(specs, cluster.ShardSpec{
+			ID: name, URLs: append([]string{ts.URL}, replicaURLs...),
+		})
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Shards:  specs,
+		CellDeg: h.cfg.CellDeg,
+	})
+	if err != nil {
+		return err
+	}
+	h.gw = gw
+	h.gatewayTS = httptest.NewServer(gw.Handler())
+	h.BaseURL = h.gatewayTS.URL
+
+	// Routed bootstrap: one JSON upload per (channel, cell) so every
+	// batch lands whole on its owning shard, then a broadcast retrain
+	// per channel trains whatever slice each shard holds.
+	for ch, groups := range h.groups {
+		for _, rs := range groups {
+			up := dbserver.UploadJSON{CISpanDB: 0.2}
+			for _, r := range rs {
+				up.Readings = append(up.Readings, dbserver.FromReading(r))
+			}
+			body, err := json.Marshal(up)
+			if err != nil {
+				return err
+			}
+			resp, err := h.httpc.Post(h.BaseURL+"/v1/readings", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			drain(resp)
+			if resp.StatusCode != http.StatusNoContent {
+				return fmt.Errorf("bootstrap upload ch%d = %s", int(ch), resp.Status)
+			}
+		}
+	}
+	for ch := range h.groups {
+		url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d", h.BaseURL, int(ch), int(sensor.KindRTLSDR))
+		resp, err := h.httpc.Post(url, "", nil)
+		if err != nil {
+			return err
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("broadcast retrain ch%d = %s", int(ch), resp.Status)
+		}
+	}
+	return nil
+}
+
+// Gateway returns the cluster topology's gateway (nil for single).
+func (h *Harness) Gateway() *cluster.Gateway { return h.gw }
+
+// Server returns the single topology's dbserver (nil for cluster).
+func (h *Harness) Server() *dbserver.Server { return h.srv }
+
+// Close tears the whole system down: servers first (dbserver.Close
+// wakes every parked watcher, so listener drains cannot stall on a
+// long-poll horizon), then listeners, then idle connections. Idempotent.
+func (h *Harness) Close() error {
+	h.closeOnce.Do(func() {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if h.srv != nil {
+			keep(h.srv.Close())
+		}
+		for _, n := range h.nodes {
+			keep(n.Close())
+		}
+		if h.gw != nil {
+			keep(h.gw.Close())
+		}
+		if h.gatewayTS != nil {
+			h.gatewayTS.Close()
+		}
+		for _, ts := range h.shardTS {
+			ts.Close()
+		}
+		if h.singleTS != nil {
+			h.singleTS.Close()
+		}
+		if tr, ok := h.httpc.Transport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+		h.closeErr = first
+	})
+	return h.closeErr
+}
+
+// buildPayloads pre-encodes a pool of upload payloads of the given
+// batch size, cycling channels and cell groups so the pool exercises
+// every shard.
+func (h *Harness) buildPayloads(batch int) ([]payload, error) {
+	const poolSize = 16
+	pool := make([]payload, 0, poolSize)
+	for i := 0; len(pool) < poolSize; i++ {
+		ch := h.cfg.Channels[i%len(h.cfg.Channels)]
+		groups := h.groups[ch]
+		group := groups[i%len(groups)]
+		rs := make([]dataset.Reading, batch)
+		for j := range rs {
+			rs[j] = group[(i*batch+j)%len(group)]
+		}
+		frame, err := core.EncodeBatchFrame(rs)
+		if err != nil {
+			return nil, err
+		}
+		up := dbserver.UploadJSON{CISpanDB: 0.2, Readings: make([]dbserver.ReadingJSON, 0, batch)}
+		for _, r := range rs {
+			up.Readings = append(up.Readings, dbserver.FromReading(r))
+		}
+		jsonBody, err := json.Marshal(up)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, payload{ch: ch, loc: rs[0].Loc, frame: frame, json: jsonBody})
+	}
+	return pool, nil
+}
+
+// endpointTrack pairs one endpoint's latency histogram with its error
+// count. Latency is observed only for successful operations; failures
+// (transport errors, unexpected statuses) are counted, never hidden in
+// the distribution.
+type endpointTrack struct {
+	name string
+	hist *telemetry.Histogram
+	errs atomic.Uint64
+}
+
+func (t *endpointTrack) result() (EndpointLatency, bool) {
+	s := t.hist.Snapshot()
+	if s.Count == 0 && t.errs.Load() == 0 {
+		return EndpointLatency{}, false
+	}
+	return EndpointLatency{
+		Endpoint: t.name,
+		Count:    s.Count,
+		Errors:   t.errs.Load(),
+		P50:      s.Quantile(0.50),
+		P95:      s.Quantile(0.95),
+		P99:      s.Quantile(0.99),
+		P999:     s.Quantile(0.999),
+		Max:      s.Max,
+	}, true
+}
+
+// RunTier drives one load tier against the booted system: an open-loop
+// upload stream at tier.Rate readings/s (binary frames with a JSON
+// fraction), a concurrent open-loop model-fetch stream (ETag
+// revalidations mixed with full fetches), parked watch long-polls on
+// the watch channel, and a periodic retrain that wakes them. It
+// reports per-endpoint latency measured from each operation's
+// scheduled start, the tier's GC pause distribution, and achieved
+// versus offered throughput.
+func (h *Harness) RunTier(ctx context.Context, tier Tier) TierResult {
+	tier.defaults()
+	pool, err := h.buildPayloads(tier.BatchSize)
+	if err != nil {
+		// Payload encoding can only fail on an invalid campaign; report
+		// it as a tier with nothing achieved rather than panicking.
+		return TierResult{Name: tier.Name, OfferedReadingsPerSec: tier.Rate, BatchSize: tier.BatchSize}
+	}
+
+	// Fine-grained buckets (20µs … ~18s, ×10^⅛ steps) so p999 in the
+	// hundreds of microseconds is resolved, unlike DefLatencyBuckets.
+	reg := telemetry.New()
+	buckets := telemetry.ExpBuckets(20e-6, math.Pow(10, 0.125), 48)
+	track := func(name string) *endpointTrack {
+		return &endpointTrack{
+			name: name,
+			hist: reg.Histogram("bench_e2e_latency_seconds",
+				"End-to-end operation latency from scheduled start.", buckets, "endpoint", name),
+		}
+	}
+	upBatch := track("upload_batch")
+	upJSON := track("readings_json")
+	model := track("model")
+	retrain := track("retrain")
+	watch := track("model_watch")
+
+	tierCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var acceptedReadings atomic.Uint64
+	var lastRetrain atomic.Int64
+
+	// Parked watchers + the retrain loop that wakes them.
+	var bg sync.WaitGroup
+	for i := 0; i < tier.Watchers; i++ {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			h.runWatcher(tierCtx, &lastRetrain, watch)
+		}()
+	}
+	if tier.RetrainEvery > 0 {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			h.runRetrains(tierCtx, tier.RetrainEvery, &lastRetrain, retrain)
+		}()
+	}
+
+	before := telemetry.ReadRuntime()
+	start := time.Now()
+
+	var seq atomic.Uint64
+	uploadOp := func(_ int, scheduled time.Time) {
+		n := seq.Add(1)
+		p := pool[n%uint64(len(pool))]
+		// Bresenham interleave: exactly JSONFraction of operations take
+		// the JSON path, evenly spread rather than in blocks, so even a
+		// short tier exercises both ingest paths.
+		useJSON := tier.JSONFraction > 0 &&
+			uint64(float64(n)*tier.JSONFraction) != uint64(float64(n-1)*tier.JSONFraction)
+		var req *http.Request
+		var err error
+		if useJSON {
+			req, err = http.NewRequestWithContext(tierCtx, http.MethodPost,
+				h.BaseURL+"/v1/readings", bytes.NewReader(p.json))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		} else {
+			req, err = http.NewRequestWithContext(tierCtx, http.MethodPost,
+				h.BaseURL+"/v1/upload/batch", bytes.NewReader(p.frame))
+			if err == nil {
+				req.Header.Set(dbserver.CISpanHeader, "0.2")
+			}
+		}
+		tk := upBatch
+		if useJSON {
+			tk = upJSON
+		}
+		if err != nil {
+			tk.errs.Add(1)
+			return
+		}
+		resp, err := h.httpc.Do(req)
+		if err != nil {
+			tk.errs.Add(1)
+			return
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusNoContent {
+			tk.errs.Add(1)
+			return
+		}
+		acceptedReadings.Add(uint64(tier.BatchSize))
+		tk.hist.Observe(time.Since(scheduled).Seconds())
+	}
+
+	var modelSeq atomic.Uint64
+	var etags sync.Map // rfenv.Channel → ETag string
+	modelOp := func(_ int, scheduled time.Time) {
+		n := modelSeq.Add(1)
+		ch := h.cfg.Channels[n%uint64(len(h.cfg.Channels))]
+		req, err := http.NewRequestWithContext(tierCtx, http.MethodGet, h.modelURL(ch), nil)
+		if err != nil {
+			model.errs.Add(1)
+			return
+		}
+		// 3 of 4 fetches revalidate with the last seen ETag — the fleet
+		// polling pattern — and every 4th forces a full body.
+		if etag, ok := etags.Load(ch); ok && n%4 != 0 {
+			req.Header.Set("If-None-Match", etag.(string))
+		}
+		resp, err := h.httpc.Do(req)
+		if err != nil {
+			model.errs.Add(1)
+			return
+		}
+		drain(resp)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if etag := resp.Header.Get("ETag"); etag != "" {
+				etags.Store(ch, etag)
+			}
+		case http.StatusNotModified:
+		default:
+			model.errs.Add(1)
+			return
+		}
+		model.hist.Observe(time.Since(scheduled).Seconds())
+	}
+
+	uploadCfg := OpenLoopConfig{
+		Rate:     tier.Rate / float64(tier.BatchSize),
+		Workers:  tier.Workers,
+		Duration: tier.Duration,
+	}
+	modelCfg := OpenLoopConfig{
+		Rate:     tier.ModelRate,
+		Workers:  tier.Workers / 2,
+		Duration: tier.Duration,
+	}
+	var loops sync.WaitGroup
+	var upStats, modelStats OpenLoopStats
+	loops.Add(2)
+	go func() {
+		defer loops.Done()
+		upStats = RunOpenLoop(tierCtx, uploadCfg, uploadOp)
+	}()
+	go func() {
+		defer loops.Done()
+		modelStats = RunOpenLoop(tierCtx, modelCfg, modelOp)
+	}()
+	loops.Wait()
+	elapsed := time.Since(start)
+	delta := telemetry.ReadRuntime().DeltaSince(before)
+	cancel()
+	bg.Wait()
+
+	res := TierResult{
+		Name:                  tier.Name,
+		DurationSeconds:       elapsed.Seconds(),
+		OfferedReadingsPerSec: tier.Rate,
+		BatchSize:             tier.BatchSize,
+		UploadLoop:            loopStats(uploadCfg.Rate, upStats),
+		ModelLoop:             loopStats(modelCfg.Rate, modelStats),
+	}
+	if elapsed > 0 {
+		res.AchievedReadingsPerSec = float64(acceptedReadings.Load()) / elapsed.Seconds()
+	}
+	for _, tk := range []*endpointTrack{upBatch, upJSON, model, retrain, watch} {
+		if ep, ok := tk.result(); ok {
+			res.Endpoints = append(res.Endpoints, ep)
+		}
+	}
+	ops := upStats.Completed + modelStats.Completed
+	res.GC = GCStats{
+		Cycles:           delta.GCCycles,
+		PauseCount:       delta.Pauses.Count(),
+		PauseP50:         delta.Pauses.Quantile(0.50),
+		PauseP95:         delta.Pauses.Quantile(0.95),
+		PauseP99:         delta.Pauses.Quantile(0.99),
+		PauseP999:        delta.Pauses.Quantile(0.999),
+		PauseMax:         delta.Pauses.Max(),
+		PauseTotalApprox: delta.Pauses.Sum(),
+	}
+	if ops > 0 {
+		res.GC.AllocBytesPerOp = float64(delta.AllocBytes) / float64(ops)
+		res.GC.AllocObjectsPerOp = float64(delta.AllocObjects) / float64(ops)
+	}
+	return res
+}
+
+func loopStats(rate float64, s OpenLoopStats) LoopStats {
+	return LoopStats{
+		OfferedOpsPerSec: rate,
+		Scheduled:        s.Scheduled,
+		Completed:        s.Completed,
+		Dropped:          s.Dropped,
+		Late:             s.Late,
+	}
+}
+
+// modelURL builds the model-fetch URL; in cluster topology it attaches
+// the channel's seed location as a routing hint so the gateway forwards
+// to a shard that actually holds the channel's model.
+func (h *Harness) modelURL(ch rfenv.Channel) string {
+	url := fmt.Sprintf("%s/v1/model?channel=%d&sensor=%d", h.BaseURL, int(ch), int(sensor.KindRTLSDR))
+	if h.gw != nil {
+		loc := h.seedLoc[ch]
+		url += fmt.Sprintf("&lat=%.6f&lon=%.6f", loc.Lat, loc.Lon)
+	}
+	return url
+}
+
+// runWatcher keeps one long-poll parked on the watch channel, re-arming
+// after every answer. A delivered model records the wake latency —
+// measured from the retrain that caused it, so it includes the rebuild
+// time the fleet actually waits through, not just the final hop.
+func (h *Harness) runWatcher(ctx context.Context, lastRetrain *atomic.Int64, watch *endpointTrack) {
+	ch := h.cfg.WatchChannel
+	version := 0
+	for ctx.Err() == nil {
+		url := fmt.Sprintf("%s/v1/model/watch?channel=%d&sensor=%d&version=%d",
+			h.BaseURL, int(ch), int(sensor.KindRTLSDR), version)
+		if h.gw != nil {
+			loc := h.seedLoc[ch]
+			url += fmt.Sprintf("&lat=%.6f&lon=%.6f", loc.Lat, loc.Lon)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := h.watchc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			watch.errs.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		drain(resp)
+		if v, err := strconv.Atoi(resp.Header.Get("X-Waldo-Model-Version")); err == nil && v > version {
+			version = v
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if at := lastRetrain.Load(); at > 0 {
+				watch.hist.Observe(time.Since(time.Unix(0, at)).Seconds())
+			}
+		case http.StatusNotModified:
+			// Horizon expiry: normal re-arm, not an error, not a sample.
+		default:
+			if ctx.Err() != nil {
+				return
+			}
+			watch.errs.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// runRetrains periodically retrains the watch channel. In cluster
+// topology the hintless POST broadcasts to every shard — "retrain
+// channel N" means everywhere the channel's readings live.
+func (h *Harness) runRetrains(ctx context.Context, every time.Duration, lastRetrain *atomic.Int64, retrain *endpointTrack) {
+	url := fmt.Sprintf("%s/v1/retrain?channel=%d&sensor=%d",
+		h.BaseURL, int(h.cfg.WatchChannel), int(sensor.KindRTLSDR))
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		start := time.Now()
+		lastRetrain.Store(start.UnixNano())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := h.httpc.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				retrain.errs.Add(1)
+			}
+			continue
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			retrain.errs.Add(1)
+			continue
+		}
+		retrain.hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// drain consumes and closes a response body so the keep-alive
+// connection returns to the pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+	resp.Body.Close()
+}

@@ -1,0 +1,207 @@
+package benchharness
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/client"
+	"github.com/wsdetect/waldo/internal/core"
+	"github.com/wsdetect/waldo/internal/dataset"
+	"github.com/wsdetect/waldo/internal/sensor"
+)
+
+// smokeTier is the seconds-long tier `make verify` runs: long enough
+// that every endpoint records samples, short enough for CI.
+func smokeTier() Tier {
+	return Tier{
+		Name:         "smoke",
+		Rate:         2000,
+		Duration:     1200 * time.Millisecond,
+		BatchSize:    16,
+		JSONFraction: 0.25,
+		ModelRate:    80,
+		Watchers:     4,
+		RetrainEvery: 300 * time.Millisecond,
+		Workers:      16,
+	}
+}
+
+// checkTier asserts the invariants every healthy smoke tier must hold.
+func checkTier(t *testing.T, res TierResult) {
+	t.Helper()
+	if res.AchievedReadingsPerSec <= 0 {
+		t.Fatalf("achieved rate = %v, want > 0", res.AchievedReadingsPerSec)
+	}
+	if res.UploadLoop.Scheduled == 0 || res.UploadLoop.Completed == 0 {
+		t.Fatalf("upload loop did nothing: %+v", res.UploadLoop)
+	}
+	if got := res.UploadLoop.Completed + res.UploadLoop.Dropped; got != res.UploadLoop.Scheduled {
+		t.Errorf("upload loop accounting: completed %d + dropped %d != scheduled %d",
+			res.UploadLoop.Completed, res.UploadLoop.Dropped, res.UploadLoop.Scheduled)
+	}
+	byName := map[string]EndpointLatency{}
+	for _, ep := range res.Endpoints {
+		byName[ep.Endpoint] = ep
+	}
+	for _, name := range []string{"upload_batch", "readings_json", "model", "retrain", "model_watch"} {
+		ep, ok := byName[name]
+		if !ok || ep.Count == 0 {
+			t.Errorf("endpoint %q recorded no successful operations (%+v)", name, ep)
+			continue
+		}
+		if ep.P50 <= 0 || ep.P50 > ep.P99 || ep.P99 > ep.P999 {
+			t.Errorf("endpoint %q quantiles not ordered: p50=%v p99=%v p999=%v",
+				name, ep.P50, ep.P99, ep.P999)
+		}
+		if ep.Errors > ep.Count/4 {
+			t.Errorf("endpoint %q: %d errors against %d successes", name, ep.Errors, ep.Count)
+		}
+	}
+	if res.GC.AllocBytesPerOp <= 0 {
+		t.Errorf("alloc bytes/op = %v, want > 0", res.GC.AllocBytesPerOp)
+	}
+}
+
+func TestSingleTopologySmokeTier(t *testing.T) {
+	h, err := Start(Config{Topology: TopologySingle, Samples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck // second close in the success path
+	res := h.RunTier(context.Background(), smokeTier())
+	checkTier(t, res)
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The tier must survive the whole reporting pipeline: append to a
+	// trajectory, flatten for the regression gate, render for README.
+	traj := &Trajectory{Format: TrajectoryFormat}
+	traj.Append(Run{Time: "test", Topologies: []TopologyResult{
+		{Topology: TopologySingle, Tiers: []TierResult{res}},
+	}})
+	path := t.TempDir() + "/BENCH_E2E.json"
+	if err := traj.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := loaded.Flatten(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"e2e/single/smoke/upload_batch/p99", "e2e/single/smoke/model/p99"} {
+		if !strings.Contains(flat, want) {
+			t.Errorf("flattened gate output missing %q:\n%s", want, flat)
+		}
+	}
+	if _, err := loaded.RenderMarkdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterTopologySmokeTier(t *testing.T) {
+	h, err := Start(Config{Topology: TopologyCluster, Samples: 120, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck // second close in the success path
+	res := h.RunTier(context.Background(), smokeTier())
+	checkTier(t, res)
+	if h.Gateway() == nil {
+		t.Fatal("cluster harness has no gateway")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestCloseMidTierLeaksNoGoroutines is the graceful-shutdown gauntlet:
+// a replicated cluster under open-loop load, with a client-side upload
+// buffer and a parked WatchModelCtx long-poll, torn down in the middle
+// of a tier. Everything must unwind — parked watchers (server side and
+// client side), replication shippers, the upload buffer's flusher —
+// and the goroutine count must return to its pre-harness baseline.
+func TestCloseMidTierLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	h, err := Start(Config{Topology: TopologyCluster, Samples: 120, Shards: 2, ReplicasPerShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck // closed mid-tier below
+
+	// Client-side moving parts riding on the same server: an upload
+	// buffer with a background flusher and a parked model watch.
+	c, err := client.NewWithConfig(h.BaseURL, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLocationHint(h.seedLoc[h.cfg.WatchChannel])
+	buf := c.NewUploadBuffer(client.BufferConfig{FlushSize: 8})
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	var clientSide sync.WaitGroup
+	clientSide.Add(1)
+	go func() {
+		defer clientSide.Done()
+		for watchCtx.Err() == nil {
+			c.WatchModelCtx(watchCtx, h.cfg.WatchChannel, sensor.KindRTLSDR) //nolint:errcheck // cancellation path
+		}
+	}()
+	loc := h.seedLoc[h.cfg.Channels[0]]
+	for i := 0; i < 4; i++ {
+		buf.Add(core.UploadBatch{CISpanDB: 0.2, Readings: []dataset.Reading{ //nolint:errcheck
+			{Seq: i, Loc: loc, Channel: h.cfg.Channels[0], Sensor: sensor.KindRTLSDR},
+		}})
+	}
+
+	tier := smokeTier()
+	tier.Duration = 1500 * time.Millisecond
+	done := make(chan TierResult, 1)
+	go func() { done <- h.RunTier(context.Background(), tier) }()
+
+	// Tear the servers down while the tier is mid-flight. Close must
+	// not deadlock on a parked long-poll and must stop every shipper.
+	time.Sleep(400 * time.Millisecond)
+	if err := h.Close(); err != nil {
+		t.Fatalf("close mid-tier: %v", err)
+	}
+	res := <-done
+	if res.UploadLoop.Completed == 0 {
+		t.Error("no upload completed before the mid-tier close")
+	}
+
+	stopWatch()
+	clientSide.Wait()
+	buf.Close() //nolint:errcheck // flush failures expected: server is gone
+
+	// The runtime parks worker goroutines lazily; poll instead of
+	// asserting an instantaneous count. Allow a small slack for the
+	// test framework's own machinery.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after mid-tier close: baseline %d, now %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestStartRejectsUnknownTopology(t *testing.T) {
+	if _, err := Start(Config{Topology: "mesh"}); err == nil {
+		t.Fatal("Start accepted an unknown topology")
+	}
+}

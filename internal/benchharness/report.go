@@ -1,0 +1,235 @@
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TrajectoryFormat identifies the BENCH_E2E.json schema. Tools sniff
+// this string (scripts/bench_regress.sh, cmd/waldo-benchjson) to tell an
+// e2e trajectory from a micro-benchmark report.
+const TrajectoryFormat = "bench_e2e/v1"
+
+// Trajectory is the whole BENCH_E2E.json file: an append-only sequence
+// of harness runs, so the perf history of the repo reads as one
+// artifact instead of being overwritten per run.
+type Trajectory struct {
+	Format string `json:"format"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Run is one `make bench-e2e` invocation.
+type Run struct {
+	Time       string           `json:"time"`
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
+	Topologies []TopologyResult `json:"topologies"`
+}
+
+// TopologyResult groups one topology's tier sweep.
+type TopologyResult struct {
+	// Topology is "single" (one dbserver) or "cluster" (3 shards behind
+	// a gateway).
+	Topology string       `json:"topology"`
+	Tiers    []TierResult `json:"tiers"`
+}
+
+// LoopStats is one open-loop stream's schedule accounting within a tier.
+type LoopStats struct {
+	OfferedOpsPerSec float64 `json:"offered_ops_per_sec"`
+	Scheduled        uint64  `json:"scheduled"`
+	Completed        uint64  `json:"completed"`
+	Dropped          uint64  `json:"dropped"`
+	Late             uint64  `json:"late"`
+}
+
+// TierResult is one load tier's full measurement.
+type TierResult struct {
+	Name            string  `json:"name"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// OfferedReadingsPerSec is the plan; AchievedReadingsPerSec is what
+	// the server actually accepted. A widening gap is the saturation
+	// signal micro-benchmarks cannot see.
+	OfferedReadingsPerSec  float64 `json:"offered_readings_per_sec"`
+	AchievedReadingsPerSec float64 `json:"achieved_readings_per_sec"`
+	BatchSize              int     `json:"batch_size"`
+
+	UploadLoop LoopStats `json:"upload_loop"`
+	ModelLoop  LoopStats `json:"model_loop"`
+
+	Endpoints []EndpointLatency `json:"endpoints"`
+	GC        GCStats           `json:"gc"`
+}
+
+// EndpointLatency is one endpoint's latency distribution within a tier,
+// measured from each operation's *scheduled* start (see openloop.go).
+type EndpointLatency struct {
+	Endpoint string  `json:"endpoint"`
+	Count    uint64  `json:"count"`
+	Errors   uint64  `json:"errors"`
+	P50      float64 `json:"p50_seconds"`
+	P95      float64 `json:"p95_seconds"`
+	P99      float64 `json:"p99_seconds"`
+	P999     float64 `json:"p999_seconds"`
+	Max      float64 `json:"max_seconds"`
+}
+
+// GCStats is the runtime's GC activity during the tier (process-wide —
+// in cluster topology that includes every in-process shard).
+type GCStats struct {
+	Cycles     uint64  `json:"cycles"`
+	PauseCount uint64  `json:"pause_count"`
+	PauseP50   float64 `json:"pause_p50_seconds"`
+	PauseP95   float64 `json:"pause_p95_seconds"`
+	PauseP99   float64 `json:"pause_p99_seconds"`
+	PauseP999  float64 `json:"pause_p999_seconds"`
+	PauseMax   float64 `json:"pause_max_seconds"`
+	// PauseTotalApprox sums bucket midpoints (the runtime exposes a
+	// histogram, not per-pause durations).
+	PauseTotalApprox  float64 `json:"pause_total_approx_seconds"`
+	AllocBytesPerOp   float64 `json:"alloc_bytes_per_op"`
+	AllocObjectsPerOp float64 `json:"alloc_objects_per_op"`
+}
+
+// LoadTrajectory reads a BENCH_E2E.json file; a missing file yields an
+// empty trajectory ready to append to.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{Format: TrajectoryFormat}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if t.Format != TrajectoryFormat {
+		return nil, fmt.Errorf("%s: format %q is not %q", path, t.Format, TrajectoryFormat)
+	}
+	return &t, nil
+}
+
+// Append adds a run to the trajectory.
+func (t *Trajectory) Append(run Run) {
+	t.Format = TrajectoryFormat
+	t.Runs = append(t.Runs, run)
+}
+
+// Write persists the trajectory atomically (temp file + rename), so an
+// interrupted bench run never truncates the perf history.
+func (t *Trajectory) Write(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench_e2e-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Flatten renders one run as sorted "key value-in-ns" lines — the
+// regression-gate surface consumed by scripts/bench_regress.sh via
+// `waldo-benchjson -extract-e2e`. Only the gated series appear: each
+// endpoint's p99 and each tier's GC pause p99. idx selects the run
+// (negative counts from the end: -1 is the latest).
+func (t *Trajectory) Flatten(idx int) (string, error) {
+	resolved := idx
+	if resolved < 0 {
+		resolved += len(t.Runs)
+	}
+	if resolved < 0 || resolved >= len(t.Runs) {
+		return "", fmt.Errorf("trajectory has %d runs; run %d does not exist", len(t.Runs), idx)
+	}
+	idx = resolved
+	var lines []string
+	for _, topo := range t.Runs[idx].Topologies {
+		for _, tier := range topo.Tiers {
+			prefix := fmt.Sprintf("e2e/%s/%s", topo.Topology, tier.Name)
+			for _, ep := range tier.Endpoints {
+				if ep.Count == 0 {
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("%s/%s/p99 %.0f", prefix, ep.Endpoint, ep.P99*1e9))
+			}
+			if tier.GC.PauseCount > 0 {
+				lines = append(lines, fmt.Sprintf("%s/gc_pause/p99 %.0f", prefix, tier.GC.PauseP99*1e9))
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return "", fmt.Errorf("run %d has no measurements to gate", idx)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// RenderMarkdown renders the latest run as the README's perf-trajectory
+// table.
+func (t *Trajectory) RenderMarkdown() (string, error) {
+	if len(t.Runs) == 0 {
+		return "", fmt.Errorf("trajectory has no runs")
+	}
+	run := t.Runs[len(t.Runs)-1]
+	var b strings.Builder
+	b.WriteString("| topology | tier | offered rd/s | achieved rd/s | endpoint | p50 | p99 | p999 | GC pause p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, topo := range run.Topologies {
+		for _, tier := range topo.Tiers {
+			gc := fmtDur(tier.GC.PauseP99)
+			if tier.GC.PauseCount == 0 {
+				gc = "—"
+			}
+			first := true
+			for _, ep := range tier.Endpoints {
+				if ep.Count == 0 {
+					continue
+				}
+				tcol, ocol, acol, gcol := "", "", "", ""
+				if first {
+					tcol = tier.Name
+					ocol = fmt.Sprintf("%.0f", tier.OfferedReadingsPerSec)
+					acol = fmt.Sprintf("%.0f", tier.AchievedReadingsPerSec)
+					gcol = gc
+					first = false
+				}
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+					topo.Topology, tcol, ocol, acol, ep.Endpoint,
+					fmtDur(ep.P50), fmtDur(ep.P99), fmtDur(ep.P999), gcol)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// fmtDur renders seconds as a compact human duration.
+func fmtDur(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

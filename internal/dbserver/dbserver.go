@@ -142,6 +142,14 @@ type Server struct {
 	batch *batchState
 	hub   *watchHub
 	watch watchState
+
+	// closed is closed by Close so parked long-polls (watchers) wake and
+	// answer instead of pinning the listener's graceful shutdown for up
+	// to a full watch horizon. closeOnce makes Close idempotent — crash
+	// harnesses and the e2e latency harness both close servers that their
+	// cleanup paths close again.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // modelBlob is one cached encoded descriptor.
@@ -274,9 +282,10 @@ func New(cfg Config) *Server {
 		cacheNotMod: cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "not_modified"),
 		shedTotal: cfg.Metrics.Counter("waldo_dbserver_shed_total",
 			"Data-route requests answered 429 by the load-shedding gate."),
-		batch: newBatchState(cfg.Metrics),
-		hub:   newWatchHub(),
-		watch: newWatchState(cfg.Metrics),
+		batch:  newBatchState(cfg.Metrics),
+		hub:    newWatchHub(),
+		watch:  newWatchState(cfg.Metrics),
+		closed: make(chan struct{}),
 	}
 }
 

@@ -166,10 +166,14 @@ func (s *Server) FlushWAL() error {
 	return first
 }
 
-// Close flushes and closes every durable store's log. It deliberately
-// does not snapshot — the data dir stays crash-shaped, and recovery
-// replays it identically whether the process exited cleanly or died.
+// Close flushes and closes every durable store's log and wakes every
+// parked model watcher (answered 503 so clients re-arm elsewhere) — a
+// listener draining in-flight requests after Close never waits out a
+// long-poll horizon. It deliberately does not snapshot: the data dir
+// stays crash-shaped, and recovery replays it identically whether the
+// process exited cleanly or died. Idempotent.
 func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
 	var first error
 	for _, ws := range s.walSnapshot() {
 		if err := ws.store.Close(); err != nil && first == nil {

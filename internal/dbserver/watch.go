@@ -84,16 +84,18 @@ type watchState struct {
 	delivered  *telemetry.Counter
 	timeout    *telemetry.Counter
 	disconnect *telemetry.Counter
+	shutdown   *telemetry.Counter
 }
 
 func newWatchState(m *telemetry.Registry) watchState {
-	const help = "Model watch long-polls resolved, by outcome (delivered, timeout, disconnect)."
+	const help = "Model watch long-polls resolved, by outcome (delivered, timeout, disconnect, shutdown)."
 	return watchState{
 		active: m.Gauge("waldo_dbserver_watch_active",
 			"Model watch long-polls currently parked."),
 		delivered:  m.Counter("waldo_dbserver_watch_total", help, "outcome", "delivered"),
 		timeout:    m.Counter("waldo_dbserver_watch_total", help, "outcome", "timeout"),
 		disconnect: m.Counter("waldo_dbserver_watch_total", help, "outcome", "disconnect"),
+		shutdown:   m.Counter("waldo_dbserver_watch_total", help, "outcome", "shutdown"),
 	}
 }
 
@@ -168,6 +170,14 @@ func (s *Server) handleModelWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-r.Context().Done():
 			s.watch.disconnect.Inc()
+			return
+		case <-s.closed:
+			// Server shutting down: answer instead of pinning the
+			// listener's drain until the horizon. 503 sends resilient
+			// clients into their backoff-and-re-arm path.
+			s.watch.shutdown.Inc()
+			w.Header().Set("X-Waldo-Model-Version", strconv.Itoa(version))
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 			return
 		}
 	}

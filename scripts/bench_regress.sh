@@ -1,57 +1,122 @@
 #!/usr/bin/env bash
-# Compares two waldo-benchjson reports and fails when any benchmark
-# present in both regressed by more than the threshold (default 15%).
-# The CI gate for the ingest suite: run `make bench-ingest`, then
+# Compares two benchmark reports and fails when any measurement present
+# in both regressed by more than the threshold (default 15%).
+#
+# Two input formats are understood, detected per file:
+#
+#   - waldo-benchjson reports (BENCH_<n>.json): compared on ns/op per
+#     benchmark name.
+#   - bench_e2e/v1 trajectories (BENCH_E2E.json from waldo-bench-e2e):
+#     flattened via `waldo-benchjson -extract-e2e` into per-endpoint p99
+#     and GC-pause-p99 keys (values in ns) and compared on those.
+#
+# With two files, each contributes its latest run. With ONE file that is
+# an e2e trajectory, the previous run (-run -2) is the baseline and the
+# latest (-run -1) is the candidate — the `make bench-e2e` append-only
+# workflow needs no separate baseline file:
 #
 #   scripts/bench_regress.sh BENCH_7.baseline.json BENCH_7.json
+#   scripts/bench_regress.sh BENCH_E2E.json            # last two runs
 #
-# Benchmarks only in one report are ignored (new benchmarks don't fail
-# the gate; deleted ones don't block cleanup). Comparison is on ns/op.
+# The gate fails loudly (exit 2) rather than passing vacuously when a
+# baseline is missing, unreadable, or contains no measurements, and
+# (exit 1) when a baseline measurement disappears from the candidate —
+# a deleted benchmark silently shrinks coverage. Set
+# BENCH_REGRESS_ALLOW_MISSING=1 to permit intentional removals.
 #
-# Usage: scripts/bench_regress.sh BASELINE.json CURRENT.json [threshold-pct]
+# Usage: scripts/bench_regress.sh BASELINE.json [CURRENT.json] [threshold-pct]
 set -euo pipefail
 
-if [ $# -lt 2 ]; then
-    echo "usage: $0 BASELINE.json CURRENT.json [threshold-pct]" >&2
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 BASELINE.json [CURRENT.json] [threshold-pct]" >&2
     exit 2
 fi
+
+is_e2e() {
+    grep -q '"format": *"bench_e2e' "$1"
+}
+
 BASE=$1
-CURR=$2
-THRESH=${3:-15}
+if [ $# -ge 2 ] && [[ ! $2 =~ ^[0-9]+$ ]]; then
+    CURR=$2
+    THRESH=${3:-15}
+    SINGLE=0
+else
+    # Single-file mode (a bare numeric second arg is the threshold):
+    # baseline and candidate are consecutive runs of one e2e trajectory.
+    CURR=$1
+    THRESH=${2:-15}
+    SINGLE=1
+fi
 
 for f in "$BASE" "$CURR"; do
     if [ ! -r "$f" ]; then
-        echo "bench_regress: cannot read $f" >&2
+        echo "bench_regress: cannot read $f — no baseline means no gate; refusing to pass vacuously" >&2
         exit 2
     fi
 done
 
-# extract FILE: emit "name ns_per_op" pairs from a waldo-benchjson
-# report. The format is our own tool's stable MarshalIndent output, so
-# line-oriented parsing is safe here.
+if [ "$SINGLE" -eq 1 ] && ! is_e2e "$BASE"; then
+    echo "bench_regress: single-file mode needs a bench_e2e trajectory, got $BASE" >&2
+    exit 2
+fi
+
+# extract FILE RUNIDX: emit "key value-in-ns" pairs. RUNIDX only applies
+# to e2e trajectories (negative counts back from the latest run). For
+# waldo-benchjson reports the format is our own tool's stable
+# MarshalIndent output, so line-oriented parsing is safe here.
 extract() {
-    awk '
-        /"name":/ {
-            gsub(/.*"name": *"|",?$/, "")
-            name = $0
-        }
-        /"ns_per_op":/ {
-            gsub(/.*"ns_per_op": *|,?$/, "")
-            if (name != "") { print name, $0; name = "" }
-        }
-    ' "$1"
+    if is_e2e "$1"; then
+        go run "$ROOT/cmd/waldo-benchjson" -extract-e2e -run "$2" < "$1"
+    else
+        awk '
+            /"name":/ {
+                gsub(/.*"name": *"|",?$/, "")
+                name = $0
+            }
+            /"ns_per_op":/ {
+                gsub(/.*"ns_per_op": *|,?$/, "")
+                if (name != "") { print name, $0; name = "" }
+            }
+        ' "$1"
+    fi
 }
 
-extract "$BASE" | sort > /tmp/bench_regress_base.$$
-extract "$CURR" | sort > /tmp/bench_regress_curr.$$
-trap 'rm -f /tmp/bench_regress_base.$$ /tmp/bench_regress_curr.$$' EXIT
+BASE_RUN=-1
+[ "$SINGLE" -eq 1 ] && BASE_RUN=-2
 
-FAILED=$(join /tmp/bench_regress_base.$$ /tmp/bench_regress_curr.$$ | awk -v t="$THRESH" '
+TMP_BASE=/tmp/bench_regress_base.$$
+TMP_CURR=/tmp/bench_regress_curr.$$
+trap 'rm -f "$TMP_BASE" "$TMP_CURR"' EXIT
+
+extract "$BASE" "$BASE_RUN" | sort > "$TMP_BASE"
+extract "$CURR" -1 | sort > "$TMP_CURR"
+
+if [ ! -s "$TMP_BASE" ]; then
+    echo "bench_regress: baseline $BASE yielded no measurements — refusing to pass vacuously" >&2
+    exit 2
+fi
+if [ ! -s "$TMP_CURR" ]; then
+    echo "bench_regress: candidate $CURR yielded no measurements" >&2
+    exit 2
+fi
+
+MISSING=$(join -v1 <(cut -d' ' -f1 "$TMP_BASE") <(cut -d' ' -f1 "$TMP_CURR") || true)
+if [ -n "$MISSING" ] && [ "${BENCH_REGRESS_ALLOW_MISSING:-0}" != "1" ]; then
+    echo "bench_regress: measurements in baseline but missing from candidate:" >&2
+    echo "$MISSING" | sed 's/^/  /' >&2
+    echo "bench_regress: a disappearing benchmark shrinks gate coverage; set BENCH_REGRESS_ALLOW_MISSING=1 if intentional" >&2
+    exit 1
+fi
+
+FAILED=$(join "$TMP_BASE" "$TMP_CURR" | awk -v t="$THRESH" '
     {
         base = $2; curr = $3
         if (base > 0) {
             pct = (curr - base) * 100.0 / base
-            printf "  %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)%s\n",
+            printf "  %-50s %12.0f -> %12.0f ns  (%+.1f%%)%s\n",
                 $1, base, curr, pct, (pct > t ? "  REGRESSED" : "")
             if (pct > t) bad++
         }
