@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest bench-e2e bench-e2e-smoke crash-test loadgen chaos cluster-test clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest bench-e2e bench-e2e-smoke crash-test loadgen chaos cluster-test trace-smoke clean
 
 check: vet build race
 
 # Full pre-merge verification: formatting, vet, build, tests, the
 # sharded-cluster suite (in-process chaos harness + real-process smoke),
-# and a seconds-long smoke tier of the latency-SLO harness under the
-# race detector.
-verify: fmt-check vet build test cluster-test bench-e2e-smoke
+# a seconds-long smoke tier of the latency-SLO harness under the race
+# detector, and the end-to-end trace smoke (one traced upload must cross
+# gateway -> shard -> WAL under a single trace ID).
+verify: fmt-check vet build test cluster-test bench-e2e-smoke trace-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -92,6 +93,15 @@ cluster-test:
 	mkdir -p bin
 	$(GO) build -o bin ./cmd/waldo-server ./cmd/waldo-gateway ./cmd/waldo-loadgen
 	scripts/cluster_smoke.sh bin
+
+# End-to-end trace smoke: real-process 3-shard cluster plus gateway, one
+# traced upload, then assert the response-header trace ID is retained by
+# both the gateway's and the owning shard's /debug/traces with the
+# fan-out leg and WAL append spans (DESIGN.md §14).
+trace-smoke:
+	mkdir -p bin
+	$(GO) build -o bin ./cmd/waldo-server ./cmd/waldo-gateway
+	scripts/trace_smoke.sh bin
 
 # Cluster tier benchmarks: gateway routing overhead vs a direct shard
 # upload (the acceptance bar: < 2× per op), plus ring lookup and

@@ -72,6 +72,7 @@ func run(args []string) error {
 	shards := fs.Int("shards", 3, "cluster topology shard count")
 	replicas := fs.Int("replicas", 1, "replicas per shard (cluster topology)")
 	wal := fs.Bool("wal", true, "give every server a WAL in a temp dir so tiers measure the persistence path")
+	cpuprofile := fs.String("cpuprofile", "", "capture a CPU profile per tier and keep the worst-p99 tier's profile at this path (empty = off)")
 	smoke := fs.Bool("smoke", false, "run one short sanity tier instead of the full sweep")
 	render := fs.Bool("render", false, "print the latest run as a markdown table and exit")
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +109,7 @@ func run(args []string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	ctx := context.Background()
+	prof := &benchharness.TierProfiler{Path: *cpuprofile}
 	for _, topo := range strings.Split(*topologies, ",") {
 		topo = strings.TrimSpace(topo)
 		cfg := benchharness.Config{
@@ -138,7 +140,13 @@ func run(args []string) error {
 		topoRes := benchharness.TopologyResult{Topology: topo}
 		for _, tier := range tiers {
 			fmt.Printf("    tier %-6s offered %8.0f readings/s for %v... ", tier.Name, tier.Rate, *tierDur)
+			if err := prof.Start(); err != nil {
+				return err
+			}
 			res := h.RunTier(ctx, tier)
+			if err := prof.Finish(topo+"/"+tier.Name, res); err != nil {
+				return err
+			}
 			fmt.Printf("achieved %8.0f readings/s, %d GC pauses\n",
 				res.AchievedReadingsPerSec, res.GC.PauseCount)
 			topoRes.Tiers = append(topoRes.Tiers, res)
@@ -156,6 +164,9 @@ func run(args []string) error {
 	traj.Append(run)
 	if err := traj.Write(*out); err != nil {
 		return err
+	}
+	if worst, ok := prof.WorstTier(); ok {
+		fmt.Printf("\nCPU profile of worst tier (%s) at %s\n", worst, *cpuprofile)
 	}
 	fmt.Printf("\nappended run %d to %s\n\n", len(traj.Runs), *out)
 	table, err := traj.RenderMarkdown()

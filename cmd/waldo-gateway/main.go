@@ -29,7 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/adminhttp"
 	"github.com/wsdetect/waldo/internal/cluster"
+	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 func main() {
@@ -47,7 +50,13 @@ func run(args []string) error {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard (0 = default 128)")
 	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum in degrees")
 	probeEvery := fs.Duration("probe-every", 2*time.Second, "endpoint health-probe interval (0 = per-request failover only)")
+	logLevel := fs.String("log-level", "info", "lowest structured-log level emitted: debug|info|warn|error")
+	adminAddr := fs.String("admin-addr", "", "opt-in admin listener (pprof, /metrics, /debug/traces); empty = disabled. Bind to loopback only.")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lvl, err := wlog.ParseLevel(*logLevel)
+	if err != nil {
 		return err
 	}
 	shards, err := parseShards(*shardsFlag)
@@ -55,16 +64,25 @@ func run(args []string) error {
 		return err
 	}
 
+	metrics := telemetry.New()
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
 		Shards:        shards,
 		Ring:          cluster.RingConfig{Seed: *seed, VNodes: *vnodes},
 		CellDeg:       *cellDeg,
 		ProbeInterval: *probeEvery,
+		Metrics:       metrics,
+		Log:           wlog.New(wlog.Options{W: os.Stderr, Min: lvl, Metrics: metrics}),
 	})
 	if err != nil {
 		return err
 	}
 	defer gw.Close()
+	if admin := adminhttp.Serve(*adminAddr, gw.Metrics(), func(err error) {
+		log.Printf("admin listener: %v", err)
+	}); admin != nil {
+		defer admin.Close()
+		log.Printf("admin surface (pprof) on %s", *adminAddr)
+	}
 	log.Printf("routing %d shards, cluster version %s, serving on %s", len(shards), gw.ConfigVersion(), *addr)
 
 	server := &http.Server{

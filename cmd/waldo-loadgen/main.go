@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/adminhttp"
 	"github.com/wsdetect/waldo/internal/benchharness"
 	"github.com/wsdetect/waldo/internal/client"
 	"github.com/wsdetect/waldo/internal/cluster"
@@ -94,6 +95,7 @@ type config struct {
 	faults      *faultinject.Schedule
 	gateway     string
 	cellDeg     float64
+	adminAddr   string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -114,6 +116,7 @@ func parseFlags(args []string) (config, error) {
 	faults := fs.String("faults", "", "seeded fault schedule on the client transport, e.g. 'drop=0.05,error=0.05,delay=0.1,latency=2ms' (see package doc)")
 	gateway := fs.String("gateway", "", "drive an external cluster gateway at this base URL instead of the in-process server (see waldo-gateway)")
 	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum for grouping -gateway bootstrap uploads (match the gateway's -cell-deg)")
+	adminAddr := fs.String("admin-addr", "", "opt-in admin listener for the loadgen process (pprof, /metrics, /debug/traces); empty = disabled")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -132,6 +135,7 @@ func parseFlags(args []string) (config, error) {
 		jsonPath:    *jsonPath,
 		gateway:     strings.TrimRight(*gateway, "/"),
 		cellDeg:     *cellDeg,
+		adminAddr:   *adminAddr,
 	}
 	if cfg.clients < 1 {
 		return config{}, fmt.Errorf("-clients must be ≥ 1")
@@ -304,6 +308,21 @@ func run(args []string) error {
 
 	// --- Load: N concurrent WSD clients, closed- or open-loop. ---
 	clientReg := telemetry.New()
+	if cfg.adminAddr != "" {
+		// pprof here profiles the loadgen process itself; the registry
+		// served is the in-process server's when one exists (it carries
+		// the flight recorder), the client-side one in gateway mode.
+		adminReg := clientReg
+		if srv != nil {
+			adminReg = srv.Metrics()
+		}
+		if admin := adminhttp.Serve(cfg.adminAddr, adminReg, func(err error) {
+			fmt.Fprintf(os.Stderr, "admin listener: %v\n", err)
+		}); admin != nil {
+			defer admin.Close()
+			fmt.Printf("admin:     pprof on %s\n", cfg.adminAddr)
+		}
+	}
 	scansTotal := clientReg.Counter("loadgen_scans_total", "Completed channel scans.")
 	var workerErr atomic.Value // first fatal worker error
 	deadline := time.Now().Add(cfg.duration)

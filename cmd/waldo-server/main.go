@@ -33,11 +33,14 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/wsdetect/waldo/internal/adminhttp"
 	"github.com/wsdetect/waldo/internal/cluster"
 	"github.com/wsdetect/waldo/internal/core"
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/dbserver"
 	"github.com/wsdetect/waldo/internal/features"
+	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 func main() {
@@ -59,7 +62,13 @@ func run(args []string) error {
 	shardID := fs.String("shard-id", "", "run as a cluster shard under this ID (enables /v1/repl endpoints; see waldo-gateway)")
 	replicasFlag := fs.String("replicas", "", "comma-separated replica base URLs to ship the journal to (requires -shard-id)")
 	shipEvery := fs.Duration("ship-interval", 0, "replication shipping tick (0 = cluster default)")
+	logLevel := fs.String("log-level", "info", "lowest structured-log level emitted: debug|info|warn|error")
+	adminAddr := fs.String("admin-addr", "", "opt-in admin listener (pprof, /metrics, /debug/traces); empty = disabled. Bind to loopback only.")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lvl, err := wlog.ParseLevel(*logLevel)
+	if err != nil {
 		return err
 	}
 	if *data == "" && *dataDir == "" && *shardID == "" {
@@ -99,6 +108,8 @@ func run(args []string) error {
 		log.Printf("loaded %d readings from %s", len(readings), *data)
 	}
 
+	metrics := telemetry.New()
+	logger := wlog.New(wlog.Options{W: os.Stderr, Min: lvl, Metrics: metrics})
 	dbCfg := dbserver.Config{
 		Constructor: core.ConstructorConfig{
 			ClusterK:   *clusterK,
@@ -108,6 +119,8 @@ func run(args []string) error {
 		AlphaPrimeDB:  *alphaPrime,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapshotEvery,
+		Metrics:       metrics,
+		Log:           logger,
 	}
 
 	// A shard wraps the same embedded DB with the replication surface;
@@ -151,7 +164,13 @@ func run(args []string) error {
 		}
 		log.Printf("trained models in %.1fs", time.Since(start).Seconds())
 	}
-	log.Printf("serving on %s (metrics at /metrics, readiness at /healthz)", *addr)
+	log.Printf("serving on %s (metrics at /metrics, readiness at /healthz, traces at /debug/traces)", *addr)
+	if admin := adminhttp.Serve(*adminAddr, srv.Metrics(), func(err error) {
+		log.Printf("admin listener: %v", err)
+	}); admin != nil {
+		defer admin.Close()
+		log.Printf("admin surface (pprof) on %s", *adminAddr)
+	}
 
 	server := &http.Server{
 		Addr:              *addr,

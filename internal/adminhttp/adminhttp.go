@@ -1,0 +1,58 @@
+// Package adminhttp assembles the opt-in operator/admin HTTP surface:
+// net/http/pprof profiling endpoints next to the same /metrics and
+// /debug/traces views the serving mux exposes.
+//
+// It exists so the pprof handlers are linked only into binaries that ask
+// for them (library packages never import net/http/pprof) and are bound
+// to a separate listener: the admin mux is meant for a loopback or
+// otherwise operator-only address, never the client-facing one, because
+// profile endpoints can stall a process for seconds at a time. Handlers
+// are registered explicitly on a private mux — nothing touches
+// http.DefaultServeMux, so a binary that also uses the default mux
+// leaks no profiling surface by accident.
+package adminhttp
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// Handler builds the admin mux for one registry: pprof under
+// /debug/pprof/, the Prometheus exposition at /metrics, and the flight
+// recorder (when one is attached to the registry) at /debug/traces.
+func Handler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/traces", reg.FlightRecorder().Handler())
+	return mux
+}
+
+// Serve starts the admin surface on addr in a background goroutine and
+// returns the server for shutdown. An empty addr disables it and
+// returns nil — callers gate on their -admin-addr flag being set.
+// Listener errors are reported through errf (nil means ignore): the
+// admin surface failing to bind must not take down the serving process.
+func Serve(addr string, reg *telemetry.Registry, errf func(error)) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,115 @@
+package benchharness
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// TierProfiler captures a CPU profile around each tier run and keeps
+// only the profile of the worst tier seen so far — the one an operator
+// would open in `go tool pprof` after a regression. "Worst" is the
+// highest upload p99, because the upload path is the SLO the trajectory
+// gates on; tiers with no upload samples fall back to their worst
+// endpoint p99.
+//
+// A zero Path disables the profiler: Start and Finish become no-ops, so
+// callers can wire it unconditionally and gate on the flag alone. Only
+// one CPU profile can be active per process, which is fine here — tiers
+// run strictly in sequence.
+type TierProfiler struct {
+	// Path is where the surviving profile lands. Empty disables.
+	Path string
+
+	active    bool
+	tmp       string
+	stop      func() error
+	worstP99  float64
+	worstName string
+	kept      bool
+}
+
+// Start begins profiling the next tier into a scratch file next to
+// Path. It must be paired with Finish.
+func (p *TierProfiler) Start() error {
+	if p == nil || p.Path == "" {
+		return nil
+	}
+	if p.active {
+		return fmt.Errorf("benchharness: TierProfiler.Start while a tier profile is active")
+	}
+	p.tmp = p.Path + ".tier.tmp"
+	f, err := os.Create(p.tmp)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(p.tmp)
+		return err
+	}
+	// The file handle is owned by the pprof runtime until StopCPUProfile;
+	// keep it reachable via the closure below.
+	p.active = true
+	p.stop = func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}
+	return nil
+}
+
+// Finish stops the tier's profile and promotes it to Path when the
+// tier's p99 is the worst seen so far, otherwise discards it. name
+// labels the tier (e.g. "cluster/10k") in WorstTier.
+func (p *TierProfiler) Finish(name string, res TierResult) error {
+	if p == nil || p.Path == "" {
+		return nil
+	}
+	if !p.active {
+		return fmt.Errorf("benchharness: TierProfiler.Finish without Start")
+	}
+	p.active = false
+	if err := p.stop(); err != nil {
+		os.Remove(p.tmp)
+		return err
+	}
+	p99 := tierWorstP99(res)
+	if p.kept && p99 <= p.worstP99 {
+		return os.Remove(p.tmp)
+	}
+	if err := os.Rename(p.tmp, p.Path); err != nil {
+		os.Remove(p.tmp)
+		return err
+	}
+	p.kept = true
+	p.worstP99 = p99
+	p.worstName = name
+	return nil
+}
+
+// WorstTier reports which tier's profile survived at Path, and false
+// if no profile was captured.
+func (p *TierProfiler) WorstTier() (string, bool) {
+	if p == nil || !p.kept {
+		return "", false
+	}
+	return p.worstName, true
+}
+
+// tierWorstP99 ranks a tier for profile retention: upload p99 first
+// (the gated SLO), any endpoint's p99 as fallback.
+func tierWorstP99(res TierResult) float64 {
+	var upload, any float64
+	for _, ep := range res.Endpoints {
+		if ep.P99 > any {
+			any = ep.P99
+		}
+		if (ep.Endpoint == "upload_batch" || ep.Endpoint == "readings_json") && ep.P99 > upload {
+			upload = ep.P99
+		}
+	}
+	if upload > 0 {
+		return upload
+	}
+	return any
+}

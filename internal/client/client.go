@@ -280,6 +280,12 @@ func (c *Client) attempt(ctx context.Context, op string,
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", op, err)
 	}
+	// Mint a fresh trace per attempt unless the caller supplied one: the
+	// response's X-Waldo-Trace then names exactly the trace this try left
+	// in the server's flight recorder, retries included.
+	if req.Header.Get(telemetry.TraceHeader) == "" {
+		req.Header.Set(telemetry.TraceHeader, telemetry.NewSpanContext().Header())
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		c.brk.record(false)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,12 +18,19 @@ import (
 	"github.com/wsdetect/waldo/internal/geo"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 // ClusterVersionHeader carries the gateway's routing-configuration
 // fingerprint (see ConfigVersion) on every proxied response. Clients
 // cache it next to model descriptors to notice a re-ringed cluster.
 const ClusterVersionHeader = "X-Waldo-Cluster-Version"
+
+// ShardHeader names the shard(s) that served a proxied request. Single-
+// shard forwards carry one ID; split uploads carry every leg's ID,
+// comma-joined in leg order, so a client can see exactly where its
+// readings landed.
+const ShardHeader = "X-Waldo-Shard"
 
 // ShardSpec names one shard and its endpoints, primary first, replicas
 // after. The gateway sends traffic to the first endpoint it believes is
@@ -61,6 +70,10 @@ type GatewayConfig struct {
 
 	// MaxBodyBytes caps buffered upload bodies. 0 means 8 MiB.
 	MaxBodyBytes int64
+
+	// Log receives structured events (failovers, shard errors). Nil
+	// disables logging.
+	Log *wlog.Logger
 }
 
 // shardState is one shard's routing state: its spec plus the index of
@@ -116,8 +129,14 @@ type Gateway struct {
 	watchc *http.Client
 
 	metrics      *telemetry.Registry
+	lg           *wlog.Logger
 	failovers    *telemetry.Counter
 	uploadSplits *telemetry.Counter
+
+	// recorder backs GET /debug/traces; ownRec marks one created (and so
+	// closed) by this gateway rather than attached by the caller.
+	recorder *telemetry.Recorder
+	ownRec   bool
 
 	handler http.Handler
 	stopc   chan struct{}
@@ -165,14 +184,23 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := cfg.Metrics.FlightRecorder()
+	ownRec := rec == nil
+	if ownRec {
+		rec = telemetry.NewRecorder(telemetry.RecorderOptions{Metrics: cfg.Metrics})
+		cfg.Metrics.SetFlightRecorder(rec)
+	}
 	g := &Gateway{
-		cfg:     cfg,
-		ring:    ring,
-		shards:  shards,
-		version: ConfigVersion(cfg.Ring.Seed, ring.VNodes(), cfg.CellDeg, cfg.Shards),
-		httpc:   cfg.HTTPClient,
-		watchc:  &http.Client{Transport: cfg.HTTPClient.Transport},
-		metrics: cfg.Metrics,
+		cfg:      cfg,
+		ring:     ring,
+		shards:   shards,
+		version:  ConfigVersion(cfg.Ring.Seed, ring.VNodes(), cfg.CellDeg, cfg.Shards),
+		httpc:    cfg.HTTPClient,
+		watchc:   &http.Client{Transport: cfg.HTTPClient.Transport},
+		metrics:  cfg.Metrics,
+		lg:       cfg.Log.Named("gateway"),
+		recorder: rec,
+		ownRec:   ownRec,
 		failovers: cfg.Metrics.Counter("waldo_cluster_failover_total",
 			"Times the gateway advanced a shard's active endpoint after failures."),
 		uploadSplits: cfg.Metrics.Counter("waldo_cluster_upload_split_total",
@@ -191,10 +219,14 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	return g, nil
 }
 
-// Close stops the background prober (if any).
+// Close stops the background prober (if any) and the gateway-owned
+// flight recorder.
 func (g *Gateway) Close() error {
 	close(g.stopc)
 	g.wg.Wait()
+	if g.ownRec {
+		g.recorder.Close()
+	}
 	return nil
 }
 
@@ -236,6 +268,8 @@ func (g *Gateway) buildHandler() http.Handler {
 	route("GET /v1/stats", "/v1/stats", g.handleStats)
 	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", g.handleBroadcastAdmin)
 	mux.Handle("GET /metrics", m.Handler())
+	// Unwrapped like /metrics: reading the recorder must not mint traces.
+	mux.Handle("GET /debug/traces", g.recorder.Handler())
 	return mux
 }
 
@@ -402,6 +436,7 @@ func (g *Gateway) handleReadings(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set(ClusterVersionHeader, g.version)
+	w.Header().Set(ShardHeader, splitShardList(results))
 	if status/100 == 2 {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -409,6 +444,16 @@ func (g *Gateway) handleReadings(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(results) //nolint:errcheck // client went away
+}
+
+// splitShardList renders a split upload's leg shard IDs, comma-joined in
+// leg order, for the ShardHeader on the merged response.
+func splitShardList(results []FanoutResult) string {
+	ids := make([]string, len(results))
+	for i, res := range results {
+		ids[i] = res.Shard
+	}
+	return strings.Join(ids, ",")
 }
 
 // handleRetrain routes to one shard when the request carries a location
@@ -541,10 +586,24 @@ func (g *Gateway) fanout(r *http.Request, body []byte) []FanoutResult {
 }
 
 // tryShard runs one shard leg of a fan-out, with endpoint failover, and
-// buffers the response.
-func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutResult {
+// buffers the response. Each leg runs under its own child span (attr
+// shard=ID) of the request's trace; shardDo propagates that span's
+// context to the shard, so the shard's handler and WAL spans nest under
+// the leg in the assembled trace.
+func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) (res FanoutResult) {
 	sh.requests.Inc()
-	res := FanoutResult{Shard: sh.spec.ID}
+	if parent := telemetry.SpanFromContext(r.Context()); parent != nil {
+		leg := parent.Child("leg")
+		leg.SetAttr("shard", sh.spec.ID)
+		r = r.WithContext(telemetry.ContextWithSpan(r.Context(), leg))
+		defer func() {
+			if res.Status >= http.StatusInternalServerError {
+				leg.Fail(fmt.Sprintf("leg status %d", res.Status))
+			}
+			leg.End()
+		}()
+	}
+	res = FanoutResult{Shard: sh.spec.ID}
 	for attempt := 0; attempt < len(sh.spec.URLs); attempt++ {
 		url := sh.currentURL()
 		resp, err := g.shardDo(r, url, body)
@@ -553,6 +612,8 @@ func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutR
 			res.Error = err.Error()
 			if sh.markFailed(url) {
 				g.failovers.Inc()
+				g.lg.Warn(r.Context(), "failover",
+					"shard", sh.spec.ID, "from", url, "err", err)
 			}
 			continue
 		}
@@ -565,6 +626,8 @@ func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutR
 			res.Error = err.Error()
 			if sh.markFailed(url) {
 				g.failovers.Inc()
+				g.lg.Warn(r.Context(), "failover",
+					"shard", sh.spec.ID, "from", url, "err", err)
 			}
 			continue
 		}
@@ -590,7 +653,9 @@ func (g *Gateway) tryShard(r *http.Request, sh *shardState, body []byte) FanoutR
 	return res
 }
 
-// shardDo issues the proxied request to one endpoint.
+// shardDo issues the proxied request to one endpoint, carrying the
+// current span's trace context in X-Waldo-Trace so the shard's spans
+// join the gateway's trace.
 func (g *Gateway) shardDo(r *http.Request, url string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
@@ -605,6 +670,9 @@ func (g *Gateway) shardDo(r *http.Request, url string, body []byte) (*http.Respo
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
+	}
+	if sc := telemetry.SpanFromContext(r.Context()).Context(); sc.Valid() {
+		req.Header.Set(telemetry.TraceHeader, sc.Header())
 	}
 	if r.URL.Path == "/v1/model/watch" {
 		// Long-polls park past any sane proxy timeout by design.
@@ -650,6 +718,13 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, sh *shardState
 		}
 		body = data
 	}
+	var leg *telemetry.Span
+	if parent := telemetry.SpanFromContext(r.Context()); parent != nil {
+		leg = parent.Child("leg")
+		leg.SetAttr("shard", sh.spec.ID)
+		r = r.WithContext(telemetry.ContextWithSpan(r.Context(), leg))
+		defer leg.End()
+	}
 	var lastErr error
 	for attempt := 0; attempt < len(sh.spec.URLs); attempt++ {
 		url := sh.currentURL()
@@ -659,6 +734,8 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, sh *shardState
 			lastErr = err
 			if sh.markFailed(url) {
 				g.failovers.Inc()
+				g.lg.Warn(r.Context(), "failover",
+					"shard", sh.spec.ID, "from", url, "err", err)
 			}
 			continue
 		}
@@ -669,11 +746,13 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, sh *shardState
 			}
 		}
 		w.Header().Set(ClusterVersionHeader, g.version)
-		w.Header().Set("X-Waldo-Shard", sh.spec.ID)
+		w.Header().Set(ShardHeader, sh.spec.ID)
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body) //nolint:errcheck // client went away
 		return
 	}
+	leg.Fail("shard unavailable")
+	g.lg.Error(r.Context(), "shard_unavailable", "shard", sh.spec.ID, "err", lastErr)
 	w.Header().Set(ClusterVersionHeader, g.version)
 	http.Error(w, fmt.Sprintf("shard %s unavailable: %v", sh.spec.ID, lastErr), http.StatusBadGateway)
 }
@@ -734,6 +813,8 @@ func (g *Gateway) probeLoop() {
 					sh.errs.Inc()
 					if sh.markFailed(url) {
 						g.failovers.Inc()
+						g.lg.Warn(context.Background(), "failover",
+							"shard", sh.spec.ID, "from", url, "err", err, "source", "probe")
 					}
 					continue
 				}

@@ -126,6 +126,7 @@ func (g *Gateway) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set(ClusterVersionHeader, g.version)
+	w.Header().Set(ShardHeader, splitShardList(results))
 	if status/100 == 2 {
 		w.WriteHeader(http.StatusNoContent)
 		return

@@ -16,6 +16,7 @@ import (
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 // NodeConfig configures one shard process.
@@ -79,6 +80,7 @@ type Node struct {
 	// the direct writes and fork the store history.
 	promoted atomic.Bool
 
+	lg        *wlog.Logger
 	closeOnce sync.Once
 	handler   http.Handler
 }
@@ -102,12 +104,12 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 	if cfg.DB.Metrics == nil {
 		cfg.DB.Metrics = telemetry.New()
 	}
-	n := &Node{cfg: cfg}
+	n := &Node{cfg: cfg, lg: cfg.DB.Log.Named("cluster")}
 	n.appliedTotal = cfg.DB.Metrics.Counter("waldo_cluster_replication_applied_total",
 		"Replicated journal records applied by this node (replica role).")
 	if len(cfg.ReplicaURLs) > 0 {
 		n.repl = newReplicator(newIncarnation(), cfg.ReplicaURLs, cfg.HTTPClient,
-			cfg.ShipInterval, cfg.MaxShipRecords, cfg.DB.Metrics)
+			cfg.ShipInterval, cfg.MaxShipRecords, cfg.DB.Metrics, cfg.DB.Log)
 		if cfg.DB.Tap != nil {
 			return nil, fmt.Errorf("cluster: NodeConfig.DB.Tap is owned by the replicator")
 		}
@@ -133,10 +135,10 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 					if end > len(rs) {
 						end = len(rs)
 					}
-					n.repl.TapReadings(ch, kind, rs[start:end])
+					n.repl.TapReadings(context.Background(), ch, kind, rs[start:end])
 				}
 				if version > 0 {
-					n.repl.TapRetrain(ch, kind, version, trained)
+					n.repl.TapRetrain(context.Background(), ch, kind, version, trained)
 				}
 			})
 		}
@@ -145,7 +147,11 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 
 	dbh := db.Handler()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/repl/apply", n.handleApply)
+	// The apply route runs through the telemetry middleware so each
+	// shipped exchange's X-Waldo-Trace joins the primary's repl/ship
+	// trace — the replica's apply and WAL-append spans land in its own
+	// flight recorder under the same trace ID.
+	mux.Handle("POST /v1/repl/apply", cfg.DB.Metrics.WrapRouteFunc("/v1/repl/apply", n.handleApply))
 	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
 	// Direct mutations promote the node (see Node.promoted). Reads pass
 	// through untouched.
@@ -276,9 +282,9 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 			}
 			switch rec.kind {
 			case frameAppend:
-				err = n.DB.ApplyReplicatedReadings(rec.ch, rec.sensor, rec.readings)
+				err = n.DB.ApplyReplicatedReadings(r.Context(), rec.ch, rec.sensor, rec.readings)
 			case frameRetrain:
-				err = n.DB.ApplyReplicatedRetrain(rec.ch, rec.sensor, rec.version, rec.trained)
+				err = n.DB.ApplyReplicatedRetrain(r.Context(), rec.ch, rec.sensor, rec.version, rec.trained)
 			}
 			if err != nil {
 				status, applyErr = http.StatusInternalServerError, err.Error()
@@ -290,6 +296,8 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if status != http.StatusOK {
+		n.lg.Warn(r.Context(), "repl_apply_refused",
+			"reason", reason, "err", applyErr, "applied", n.applied)
 		w.Header().Set("X-Waldo-Repl-Error", applyErr)
 		w.WriteHeader(status)
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 // Replication wire format. The primary ships its journal stream — the
@@ -229,6 +230,8 @@ type Replicator struct {
 	httpc       *http.Client
 	interval    time.Duration
 	maxBatch    int
+	reg         *telemetry.Registry
+	lg          *wlog.Logger
 
 	mu   sync.Mutex
 	base uint64 // sequences ≤ base are truncated away; log[0] is base+1
@@ -241,12 +244,14 @@ type Replicator struct {
 
 // newReplicator assembles the shipper; start() launches the loops.
 func newReplicator(incarnation uint64, replicaURLs []string, httpc *http.Client,
-	interval time.Duration, maxBatch int, metrics *telemetry.Registry) *Replicator {
+	interval time.Duration, maxBatch int, metrics *telemetry.Registry, lg *wlog.Logger) *Replicator {
 	r := &Replicator{
 		incarnation: incarnation,
 		httpc:       httpc,
 		interval:    interval,
 		maxBatch:    maxBatch,
+		reg:         metrics,
+		lg:          lg.Named("repl"),
 		stopc:       make(chan struct{}),
 	}
 	for _, u := range replicaURLs {
@@ -281,8 +286,10 @@ func (r *Replicator) stop() {
 }
 
 // TapReadings implements dbserver.Tap. Runs under the store lock: copy
-// and enqueue, nothing else.
-func (r *Replicator) TapReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) {
+// and enqueue, nothing else. The shipping loop is asynchronous, so the
+// originating request's trace ends at the enqueue — each exchange later
+// runs under its own repl/ship trace.
+func (r *Replicator) TapReadings(_ context.Context, ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) {
 	rec := replRecord{kind: frameAppend, ch: ch, sensor: kind,
 		readings: append([]dataset.Reading(nil), rs...)}
 	r.mu.Lock()
@@ -291,7 +298,7 @@ func (r *Replicator) TapReadings(ch rfenv.Channel, kind sensor.Kind, rs []datase
 }
 
 // TapRetrain implements dbserver.Tap.
-func (r *Replicator) TapRetrain(ch rfenv.Channel, kind sensor.Kind, version, trained int) {
+func (r *Replicator) TapRetrain(_ context.Context, ch rfenv.Channel, kind sensor.Kind, version, trained int) {
 	rec := replRecord{kind: frameRetrain, ch: ch, sensor: kind, version: version, trained: trained}
 	r.mu.Lock()
 	r.log = append(r.log, rec)
@@ -377,7 +384,10 @@ func (r *Replicator) ship(link *replicaLink) {
 }
 
 // shipOnce pushes one chunk and returns true if it made progress and
-// more may be pending.
+// more may be pending. Every exchange that actually carries frames runs
+// under its own repl/ship trace (shipping is asynchronous, so there is
+// no client request to join); the trace header propagates to the
+// replica, whose /v1/repl/apply spans join the same trace ID.
 func (r *Replicator) shipOnce(link *replicaLink) bool {
 	link.mu.Lock()
 	acked := link.acked
@@ -389,25 +399,44 @@ func (r *Replicator) shipOnce(link *replicaLink) bool {
 		// the records it needs are gone. Fence and surface it.
 		if link.setFenced(true) {
 			link.errs.Inc()
+			r.lg.Error(context.Background(), "replica_fenced",
+				"replica", link.url, "reason", "backlog_truncated", "acked", acked)
 		}
 		return false
 	}
 	if len(recs) == 0 {
 		return false
 	}
+	sp := r.reg.StartTrace("repl/ship", telemetry.SpanContext{})
+	sp.SetAttr("replica", link.url)
+	sp.SetAttr("records", fmt.Sprintf("%d", len(recs)))
+	ctx := telemetry.ContextWithSpan(context.Background(), sp)
+	defer sp.End()
 	body := appendExchangeHeader(nil, r.incarnation)
 	for i := range recs {
 		body = appendFrame(body, acked+uint64(i)+1, &recs[i])
 	}
-	resp, err := r.httpc.Post(link.url+"/v1/repl/apply", "application/octet-stream", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, link.url+"/v1/repl/apply", bytes.NewReader(body))
 	if err != nil {
 		link.errs.Inc()
+		sp.Fail(err.Error())
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(telemetry.TraceHeader, sp.Context().Header())
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		link.errs.Inc()
+		sp.Fail(err.Error())
+		r.lg.Warn(ctx, "ship_failed", "replica", link.url, "err", err)
 		return false
 	}
 	defer resp.Body.Close()
 	var st applyStatus
 	if err := decodeJSONBody(resp.Body, &st); err != nil {
 		link.errs.Inc()
+		sp.Fail(err.Error())
+		r.lg.Warn(ctx, "ship_bad_status_body", "replica", link.url, "err", err)
 		return false
 	}
 	if st.Incarnation != r.incarnation {
@@ -416,7 +445,11 @@ func (r *Replicator) shipOnce(link *replicaLink) bool {
 		// nothing to this journal — fence rather than trusting it.
 		if link.setFenced(true) {
 			link.errs.Inc()
+			r.lg.Error(ctx, "replica_fenced", "replica", link.url,
+				"reason", st.Reason, "follows", fmt.Sprintf("%016x", st.Incarnation),
+				"ships", fmt.Sprintf("%016x", r.incarnation))
 		}
+		sp.Fail("incarnation mismatch")
 		return false
 	}
 	r.mu.Lock()
@@ -427,7 +460,10 @@ func (r *Replicator) shipOnce(link *replicaLink) bool {
 		// (only an emptied replica can rewind); its backlog is gone.
 		if link.setFenced(true) {
 			link.errs.Inc()
+			r.lg.Error(ctx, "replica_fenced", "replica", link.url,
+				"reason", "rewound_below_truncation", "applied", st.Applied, "base", base)
 		}
+		sp.Fail("replica below truncation point")
 		return false
 	}
 	link.setFenced(false)

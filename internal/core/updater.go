@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -85,12 +86,18 @@ type retrainCall struct {
 // group commit).
 type Journal interface {
 	// AppendReadings records readings accepted into the trusted store
-	// (Bootstrap seeds and accepted Submit batches).
-	AppendReadings(rs []dataset.Reading)
+	// (Bootstrap seeds and accepted Submit batches). ctx carries the
+	// request-scoped trace of the mutation being journaled (or
+	// context.Background() for recovery/startup paths) so persistence
+	// layers can attribute their cost — e.g. internal/wal records a
+	// wal/append span into the upload's trace. Implementations must not
+	// block on ctx; it is attribution, not cancellation.
+	AppendReadings(ctx context.Context, rs []dataset.Reading)
 	// RecordRetrain records a completed rebuild: the new model version
 	// and the number of store readings (a stable prefix) it was trained
-	// on.
-	RecordRetrain(version, trainedCount int)
+	// on. ctx carries the trace of the request that triggered the
+	// rebuild.
+	RecordRetrain(ctx context.Context, version, trainedCount int)
 }
 
 // UpdaterConfig assembles an Updater.
@@ -163,21 +170,36 @@ func (u *Updater) SetJournal(j Journal) {
 	u.mu.Unlock()
 }
 
-// Bootstrap seeds the store with trusted measurements (war driving or
-// dedicated infrastructure, §6) without the α′ check.
+// Bootstrap seeds the store with trusted measurements. See BootstrapCtx.
 func (u *Updater) Bootstrap(readings []dataset.Reading) {
+	u.BootstrapCtx(context.Background(), readings)
+}
+
+// BootstrapCtx seeds the store with trusted measurements (war driving or
+// dedicated infrastructure, §6) without the α′ check. ctx carries the
+// causing request's trace to the journal chain — the replica apply path
+// threads the shipped exchange's trace through here.
+func (u *Updater) BootstrapCtx(ctx context.Context, readings []dataset.Reading) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.readings = append(u.readings, readings...)
 	u.storeReadings.Set(float64(len(u.readings)))
 	if u.journal != nil && len(readings) > 0 {
-		u.journal.AppendReadings(readings)
+		u.journal.AppendReadings(ctx, readings)
 	}
 }
 
-// Submit offers a WSD upload. Batches that fail the α′ noise criterion are
-// rejected — noisy contributions would poison Algorithm 1's labels.
+// Submit offers a WSD upload. See SubmitCtx.
 func (u *Updater) Submit(batch UploadBatch) error {
+	return u.SubmitCtx(context.Background(), batch)
+}
+
+// SubmitCtx offers a WSD upload. Batches that fail the α′ noise criterion
+// are rejected — noisy contributions would poison Algorithm 1's labels.
+// ctx carries the request trace through to the journal chain (WAL,
+// replication tap), and is attribution only: an accepted batch is applied
+// even if ctx is already cancelled.
+func (u *Updater) SubmitCtx(ctx context.Context, batch UploadBatch) error {
 	if len(batch.Readings) == 0 {
 		u.rejectedTotal.Inc()
 		return fmt.Errorf("core: empty upload")
@@ -214,7 +236,7 @@ func (u *Updater) Submit(batch UploadBatch) error {
 	u.acceptedTotal.Inc()
 	u.storeReadings.Set(float64(len(u.readings)))
 	if u.journal != nil {
-		u.journal.AppendReadings(batch.Readings)
+		u.journal.AppendReadings(ctx, batch.Readings)
 	}
 	return nil
 }
@@ -242,6 +264,14 @@ func (u *Updater) Readings() []dataset.Reading {
 // flight the call waits for it and returns its result instead of starting
 // a second one.
 func (u *Updater) Retrain() (*Model, error) {
+	return u.RetrainCtx(context.Background())
+}
+
+// RetrainCtx is Retrain carrying a request trace: the rebuild spans
+// (retrain, retrain/relabel, retrain/build) and the journal notifications
+// (WAL retrain marker, replication tap, watch bump) are attributed to the
+// trace in ctx.
+func (u *Updater) RetrainCtx(ctx context.Context) (*Model, error) {
 	u.mu.Lock()
 	if call := u.inflight; call != nil {
 		u.mu.Unlock()
@@ -261,7 +291,7 @@ func (u *Updater) Retrain() (*Model, error) {
 	snap := u.readings[:len(u.readings):len(u.readings)]
 	u.mu.Unlock()
 
-	model, err := u.rebuild(snap)
+	model, err := u.rebuild(ctx, snap)
 
 	u.mu.Lock()
 	u.inflight = nil
@@ -270,7 +300,7 @@ func (u *Updater) Retrain() (*Model, error) {
 		u.version++
 		u.trainedCount = len(snap)
 		if u.journal != nil {
-			u.journal.RecordRetrain(u.version, len(snap))
+			u.journal.RecordRetrain(ctx, u.version, len(snap))
 		}
 	}
 	u.mu.Unlock()
@@ -282,8 +312,8 @@ func (u *Updater) Retrain() (*Model, error) {
 // rebuild runs the relabel+train pipeline over a store snapshot. It holds
 // no locks: this is the expensive phase Retrain keeps off the Submit and
 // Model paths.
-func (u *Updater) rebuild(snap []dataset.Reading) (*Model, error) {
-	span := u.metrics.StartSpan("retrain")
+func (u *Updater) rebuild(ctx context.Context, snap []dataset.Reading) (*Model, error) {
+	span := u.metrics.StartSpanCtx(ctx, "retrain")
 	relabel := span.Child("relabel")
 	labels, err := dataset.LabelReadings(snap, u.labelCfg)
 	relabel.End()
@@ -328,6 +358,11 @@ func (u *Updater) TrainedCount() int {
 // version must advance and the prefix must exist; a violation means the
 // stream was applied out of order and the replica must resync.
 func (u *Updater) RetrainAt(version, trainedCount int) error {
+	return u.RetrainAtCtx(context.Background(), version, trainedCount)
+}
+
+// RetrainAtCtx is RetrainAt carrying the replication-apply request trace.
+func (u *Updater) RetrainAtCtx(ctx context.Context, version, trainedCount int) error {
 	u.mu.Lock()
 	if trainedCount <= 0 || trainedCount > len(u.readings) {
 		n := len(u.readings)
@@ -342,7 +377,7 @@ func (u *Updater) RetrainAt(version, trainedCount int) error {
 	snap := u.readings[:trainedCount:trainedCount]
 	u.mu.Unlock()
 
-	model, err := u.rebuild(snap)
+	model, err := u.rebuild(ctx, snap)
 	if err != nil {
 		return err
 	}
@@ -351,7 +386,7 @@ func (u *Updater) RetrainAt(version, trainedCount int) error {
 	u.version = version
 	u.trainedCount = trainedCount
 	if u.journal != nil {
-		u.journal.RecordRetrain(version, trainedCount)
+		u.journal.RecordRetrain(ctx, version, trainedCount)
 	}
 	u.mu.Unlock()
 	return nil
@@ -376,7 +411,7 @@ func (u *Updater) Restore(readings []dataset.Reading, version, trainedCount int)
 	var model *Model
 	if trainedCount > 0 {
 		var err error
-		if model, err = u.rebuild(readings[:trainedCount]); err != nil {
+		if model, err = u.rebuild(context.Background(), readings[:trainedCount]); err != nil {
 			return fmt.Errorf("core: restore: %w", err)
 		}
 	}

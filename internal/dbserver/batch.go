@@ -2,6 +2,7 @@ package dbserver
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -102,7 +103,7 @@ func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad batch frame: %d trailing bytes", len(rest)), http.StatusBadRequest)
 		return
 	}
-	status, err := s.acceptUpload(core.UploadBatch{CISpanDB: ciSpan, Readings: readings})
+	status, err := s.acceptUpload(r.Context(), core.UploadBatch{CISpanDB: ciSpan, Readings: readings})
 	if err != nil {
 		s.batch.rejected.Inc()
 		http.Error(w, err.Error(), status)
@@ -116,36 +117,45 @@ func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 
 // acceptUpload runs the shared tail of both upload paths: optional
 // screening against the trusted store, then the α′-gated Submit, which
-// journals the whole batch as one WAL append. On error the returned
-// status is the HTTP code to answer with. The batch's readings slice is
-// only read — callers may pool it.
-func (s *Server) acceptUpload(batch core.UploadBatch) (int, error) {
+// journals the whole batch as one WAL append. ctx carries the request
+// trace — the screen span and the WAL append join it. On error the
+// returned status is the HTTP code to answer with. The batch's readings
+// slice is only read — callers may pool it.
+func (s *Server) acceptUpload(ctx context.Context, batch core.UploadBatch) (int, error) {
 	u, err := s.updaterFor(batch.Readings[0].Channel, batch.Readings[0].Sensor)
 	if err != nil {
 		return http.StatusInternalServerError, err
 	}
 	if s.cfg.Screening != nil {
-		span := s.metrics.StartSpan("screen")
+		span := s.metrics.StartSpanCtx(ctx, "screen")
 		trusted := u.Readings()
 		if len(trusted) == 0 {
+			span.Fail("no trusted readings")
 			span.End()
 			return http.StatusUnprocessableEntity,
 				errors.New("store has no trusted readings to corroborate against")
 		}
 		v, err := core.NewUploadValidator(trusted, *s.cfg.Screening)
 		if err != nil {
+			span.Fail(err.Error())
 			span.End()
 			return http.StatusInternalServerError, err
 		}
 		filtered, err := v.FilterBatch(batch)
-		span.End()
 		if err != nil {
+			span.Fail(err.Error())
+			span.End()
+			s.lg.Warn(ctx, "upload_screen_reject",
+				"channel", int(batch.Readings[0].Channel),
+				"sensor", int(batch.Readings[0].Sensor),
+				"readings", len(batch.Readings), "err", err)
 			return http.StatusUnprocessableEntity,
 				fmt.Errorf("upload failed corroboration: %w", err)
 		}
+		span.End()
 		batch = filtered
 	}
-	if err := u.Submit(batch); err != nil {
+	if err := u.SubmitCtx(ctx, batch); err != nil {
 		return http.StatusUnprocessableEntity, err
 	}
 	return 0, nil

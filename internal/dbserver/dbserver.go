@@ -84,6 +84,7 @@ package dbserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -102,6 +103,7 @@ import (
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
 	"github.com/wsdetect/waldo/internal/wal"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 // Server is the central spectrum database.
@@ -118,6 +120,13 @@ type Server struct {
 	wals    map[storeKey]*walState
 	cfg     Config
 	metrics *telemetry.Registry
+	lg      *wlog.Logger
+
+	// recorder is the trace flight recorder behind GET /debug/traces.
+	// ownRec marks a recorder created (and therefore closed) by this
+	// server, as opposed to one the caller attached to the registry.
+	recorder *telemetry.Recorder
+	ownRec   bool
 
 	// blobMu guards the encoded-descriptor cache. Entries are keyed by
 	// store and stamped with the model version they encode, so a
@@ -223,18 +232,24 @@ type Config struct {
 	// they must only enqueue. State recovered from disk at Open is not
 	// replayed into the tap.
 	Tap Tap
+	// Log receives structured events (shed rejections, screening
+	// failures, WAL errors). Nil disables logging — every wlog method is
+	// a no-op on a nil logger, matching the telemetry convention.
+	Log *wlog.Logger
 }
 
 // Tap receives accepted store mutations for replication. Both methods are
 // invoked while the owning updater's lock is held (the same contract as
-// core.Journal), so the call order is the store's apply order.
+// core.Journal), so the call order is the store's apply order. The
+// context carries the trace of the request that caused the mutation —
+// attribution only, never cancellation.
 type Tap interface {
 	// TapReadings reports readings accepted into a trusted store. The
 	// slice is caller-owned; implementations must copy what they retain.
-	TapReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading)
+	TapReadings(ctx context.Context, ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading)
 	// TapRetrain reports a completed rebuild: the new model version and
 	// the store prefix length it was trained on.
-	TapRetrain(ch rfenv.Channel, kind sensor.Kind, version, trainedCount int)
+	TapRetrain(ctx context.Context, ch rfenv.Channel, kind sensor.Kind, version, trainedCount int)
 }
 
 // tapJournal adapts a Tap to core.Journal for one store.
@@ -244,24 +259,27 @@ type tapJournal struct {
 	kind sensor.Kind
 }
 
-func (j tapJournal) AppendReadings(rs []dataset.Reading) { j.tap.TapReadings(j.ch, j.kind, rs) }
-func (j tapJournal) RecordRetrain(version, trained int) {
-	j.tap.TapRetrain(j.ch, j.kind, version, trained)
+func (j tapJournal) AppendReadings(ctx context.Context, rs []dataset.Reading) {
+	j.tap.TapReadings(ctx, j.ch, j.kind, rs)
+}
+
+func (j tapJournal) RecordRetrain(ctx context.Context, version, trained int) {
+	j.tap.TapRetrain(ctx, j.ch, j.kind, version, trained)
 }
 
 // multiJournal fans one updater's mutation stream out to several
 // journals (the WAL and the replication tap), preserving order.
 type multiJournal []core.Journal
 
-func (m multiJournal) AppendReadings(rs []dataset.Reading) {
+func (m multiJournal) AppendReadings(ctx context.Context, rs []dataset.Reading) {
 	for _, j := range m {
-		j.AppendReadings(rs)
+		j.AppendReadings(ctx, rs)
 	}
 }
 
-func (m multiJournal) RecordRetrain(version, trained int) {
+func (m multiJournal) RecordRetrain(ctx context.Context, version, trained int) {
 	for _, j := range m {
-		j.RecordRetrain(version, trained)
+		j.RecordRetrain(ctx, version, trained)
 	}
 }
 
@@ -270,12 +288,25 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.New()
 	}
+	// Attach a flight recorder so every server answers /debug/traces out
+	// of the box. A recorder the caller already attached to the registry
+	// (the benchharness, a shared gateway registry) is reused and stays
+	// the caller's to close; one created here is closed by Close.
+	rec := cfg.Metrics.FlightRecorder()
+	ownRec := rec == nil
+	if ownRec {
+		rec = telemetry.NewRecorder(telemetry.RecorderOptions{Metrics: cfg.Metrics})
+		cfg.Metrics.SetFlightRecorder(rec)
+	}
 	const cacheHelp = "Model descriptor cache lookups by outcome (hit, miss, not_modified)."
 	return &Server{
 		updaters:    make(map[storeKey]*core.Updater),
 		wals:        make(map[storeKey]*walState),
 		cfg:         cfg,
 		metrics:     cfg.Metrics,
+		lg:          cfg.Log.Named("dbserver"),
+		recorder:    rec,
+		ownRec:      ownRec,
 		blobs:       make(map[storeKey]*modelBlob),
 		cacheHit:    cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "hit"),
 		cacheMiss:   cfg.Metrics.Counter("waldo_dbserver_model_cache_total", cacheHelp, "outcome", "miss"),
@@ -341,7 +372,7 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 	// The watch journal is always last: watchers are woken only after the
 	// WAL and the replication tap have seen the retrain, so a delivered
 	// push never races ahead of durability.
-	journals = append(journals, watchJournal{hub: s.hub, key: key})
+	journals = append(journals, watchJournal{hub: s.hub, key: key, reg: s.metrics})
 	if len(journals) == 1 {
 		u.SetJournal(journals[0])
 	} else {
@@ -421,6 +452,10 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", s.handleAdminSnapshot)
 	mux.Handle("GET /metrics", m.Handler())
+	// The trace viewer is a probe like /metrics: unwrapped (reading the
+	// recorder should not itself mint traces) and outside the shed gate so
+	// an overloaded server can still be diagnosed.
+	mux.Handle("GET /debug/traces", s.recorder.Handler())
 	return mux
 }
 
@@ -452,6 +487,8 @@ func (s *Server) shed(next http.Handler) http.Handler {
 		if int(s.inFlight.Add(1)) > s.cfg.MaxInFlight {
 			s.inFlight.Add(-1)
 			s.shedTotal.Inc()
+			s.lg.Warn(r.Context(), "load_shed",
+				"path", r.URL.Path, "max_in_flight", s.cfg.MaxInFlight)
 			w.Header().Set("Retry-After", retryAfter)
 			http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
 			return
@@ -670,7 +707,7 @@ func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
 		}
 		batch.Readings = append(batch.Readings, rd)
 	}
-	if status, err := s.acceptUpload(batch); err != nil {
+	if status, err := s.acceptUpload(r.Context(), batch); err != nil {
 		http.Error(w, err.Error(), status)
 		return
 	}
@@ -689,7 +726,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no data for this channel/sensor", http.StatusNotFound)
 		return
 	}
-	if _, err := u.Retrain(); err != nil {
+	if _, err := u.RetrainCtx(r.Context()); err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}

@@ -1,6 +1,7 @@
 package dbserver
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -30,13 +31,13 @@ type walState struct {
 // updater's store lock (see core.Journal), so they only enqueue.
 type storeJournal struct{ ws *walState }
 
-func (j storeJournal) AppendReadings(rs []dataset.Reading) {
-	j.ws.store.AppendReadings(rs)
+func (j storeJournal) AppendReadings(ctx context.Context, rs []dataset.Reading) {
+	j.ws.store.AppendReadings(ctx, rs)
 	j.ws.appended.Add(int64(len(rs)))
 }
 
-func (j storeJournal) RecordRetrain(version, trainedCount int) {
-	j.ws.store.RecordRetrain(version, trainedCount)
+func (j storeJournal) RecordRetrain(ctx context.Context, version, trainedCount int) {
+	j.ws.store.RecordRetrain(ctx, version, trainedCount)
 }
 
 // Open builds a server and, when cfg.DataDir is set, recovers every
@@ -83,6 +84,7 @@ func (s *Server) openStore(key storeKey, u *core.Updater) (core.Journal, error) 
 		FS:            s.cfg.WALFS,
 		Metrics:       s.metrics,
 		FlushInterval: s.cfg.WALFlushInterval,
+		Log:           s.cfg.Log,
 	})
 	if err != nil {
 		return nil, err
@@ -173,7 +175,12 @@ func (s *Server) FlushWAL() error {
 // stays crash-shaped, and recovery replays it identically whether the
 // process exited cleanly or died. Idempotent.
 func (s *Server) Close() error {
-	s.closeOnce.Do(func() { close(s.closed) })
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.ownRec {
+			s.recorder.Close()
+		}
+	})
 	var first error
 	for _, ws := range s.walSnapshot() {
 		if err := ws.store.Close(); err != nil && first == nil {

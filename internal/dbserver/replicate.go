@@ -1,6 +1,7 @@
 package dbserver
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wsdetect/waldo/internal/dataset"
@@ -17,8 +18,9 @@ import (
 // a replica recovers from its own disk exactly like a primary.
 
 // ApplyReplicatedReadings appends a replicated batch to the store for a
-// channel/sensor, creating the store if needed.
-func (s *Server) ApplyReplicatedReadings(ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) error {
+// channel/sensor, creating the store if needed. ctx carries the shipping
+// exchange's trace through to the replica's own WAL append.
+func (s *Server) ApplyReplicatedReadings(ctx context.Context, ch rfenv.Channel, kind sensor.Kind, rs []dataset.Reading) error {
 	if len(rs) == 0 {
 		return fmt.Errorf("dbserver: empty replicated batch")
 	}
@@ -32,7 +34,7 @@ func (s *Server) ApplyReplicatedReadings(ch rfenv.Channel, kind sensor.Kind, rs 
 	if err != nil {
 		return err
 	}
-	u.Bootstrap(rs)
+	u.BootstrapCtx(ctx, rs)
 	s.maybeSnapshot(storeKey{ch, kind})
 	return nil
 }
@@ -40,12 +42,12 @@ func (s *Server) ApplyReplicatedReadings(ch rfenv.Channel, kind sensor.Kind, rs 
 // ApplyReplicatedRetrain rebuilds the model for a channel/sensor from the
 // first trainedCount store readings and installs it at exactly the
 // primary's version, so the replica serves byte-identical descriptors.
-func (s *Server) ApplyReplicatedRetrain(ch rfenv.Channel, kind sensor.Kind, version, trainedCount int) error {
+func (s *Server) ApplyReplicatedRetrain(ctx context.Context, ch rfenv.Channel, kind sensor.Kind, version, trainedCount int) error {
 	u, err := s.updaterFor(ch, kind)
 	if err != nil {
 		return err
 	}
-	return u.RetrainAt(version, trainedCount)
+	return u.RetrainAtCtx(ctx, version, trainedCount)
 }
 
 // HasData reports whether any store holds readings or a trained model —

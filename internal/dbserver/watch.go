@@ -1,6 +1,7 @@
 package dbserver
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"sync"
@@ -73,10 +74,18 @@ func (h *watchHub) bump(key storeKey) {
 type watchJournal struct {
 	hub *watchHub
 	key storeKey
+	reg *telemetry.Registry
 }
 
-func (j watchJournal) AppendReadings([]dataset.Reading) {}
-func (j watchJournal) RecordRetrain(int, int)           { j.hub.bump(j.key) }
+func (j watchJournal) AppendReadings(context.Context, []dataset.Reading) {}
+
+func (j watchJournal) RecordRetrain(ctx context.Context, _, _ int) {
+	// The bump is O(1), but span it anyway: a retrain trace then shows
+	// watcher wakeup ordered after the WAL and replication journals.
+	sp := j.reg.StartSpanCtx(ctx, "watch/bump")
+	j.hub.bump(j.key)
+	sp.End()
+}
 
 // watchState carries the watch endpoint's telemetry.
 type watchState struct {

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestFaultFSFsyncErrWedgesLog(t *testing.T) {
 		t.Fatalf("OpenStore: %v", err)
 	}
 	defer s.Close()
-	s.AppendReadings([]dataset.Reading{walReading(0)})
+	s.AppendReadings(context.Background(), []dataset.Reading{walReading(0)})
 	if err := s.Sync(); err == nil {
 		t.Fatal("Sync succeeded through an injected fsync error")
 	}
@@ -56,7 +57,7 @@ func TestFaultFSPartialWriteRecoversAsTorn(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []dataset.Reading{walReading(0), walReading(1)}
-	s.AppendReadings(want)
+	s.AppendReadings(context.Background(), want)
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestFaultFSPartialWriteRecoversAsTorn(t *testing.T) {
 	if !reflect.DeepEqual(rec.Readings, want) {
 		t.Fatalf("recovered %d readings before fault, want 2", len(rec.Readings))
 	}
-	s2.AppendReadings([]dataset.Reading{walReading(2)})
+	s2.AppendReadings(context.Background(), []dataset.Reading{walReading(2)})
 	if err := s2.Sync(); err == nil {
 		t.Fatal("Sync succeeded through an injected partial write")
 	}

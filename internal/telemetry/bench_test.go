@@ -81,3 +81,71 @@ func BenchmarkNilCounterInc(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// Span hot path. Metric-only spans ride the WAL append and upload-screen
+// paths on every request, so StartSpan/End must not rebuild path strings
+// or histogram lookups per call — that's what the spanNode interning and
+// the span pool buy.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	r := New()
+	r.StartSpan("wal/append").End() // intern the node up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("wal/append").End()
+	}
+}
+
+func BenchmarkSpanChildStartEnd(b *testing.B) {
+	r := New()
+	sp := r.StartSpan("retrain")
+	defer sp.End()
+	sp.Child("build").End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Child("build").End()
+	}
+}
+
+// TestSpanAllocBudget is the enforced ceiling behind the benchmarks
+// above: a steady-state metric-only span costs zero heap allocations
+// (pooled span, interned node, no attrs), and a traced span stays within
+// a small constant for its recorded SpanData. A regression here —
+// rebuilding the slash-joined path, losing the pool, boxing in the
+// histogram — fails the test, not just a benchmark nobody reran.
+func TestSpanAllocBudget(t *testing.T) {
+	r := New()
+	r.StartSpan("wal/append").End() // warm the intern tree + pool
+
+	if avg := testing.AllocsPerRun(200, func() {
+		r.StartSpan("wal/append").End()
+	}); avg > 0 {
+		t.Errorf("metric-only StartSpan/End allocates %.1f objects/op, budget 0", avg)
+	}
+
+	parent := r.StartSpan("retrain")
+	parent.Child("build").End()
+	if avg := testing.AllocsPerRun(200, func() {
+		parent.Child("build").End()
+	}); avg > 0 {
+		t.Errorf("metric-only Child/End allocates %.1f objects/op, budget 0", avg)
+	}
+	parent.End()
+
+	// Traced spans genuinely allocate — the Trace, two SpanData records,
+	// hex-rendered IDs, the retained TraceData — currently 12 objects for
+	// a root+child pair. The budget holds that constant: per-span costs,
+	// never per-call path strings or histogram re-lookups.
+	rec := NewRecorder(RecorderOptions{Metrics: r})
+	defer rec.Close()
+	r.SetFlightRecorder(rec)
+	const tracedBudget = 14
+	if avg := testing.AllocsPerRun(200, func() {
+		sp := r.StartTrace("/v1/readings", SpanContext{})
+		sp.Child("screen").End()
+		sp.End()
+	}); avg > tracedBudget {
+		t.Errorf("traced root+child costs %.1f objects/op, budget %d", avg, tracedBudget)
+	}
+}

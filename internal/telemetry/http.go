@@ -47,6 +47,17 @@ func (sr *statusRecorder) Flush() {
 // gauge. The route label is explicit (not taken from the URL) so
 // high-cardinality paths can't blow up the metric space. On a nil
 // registry the handler is returned unwrapped.
+//
+// Every wrapped request also runs under a trace: an incoming
+// X-Waldo-Trace header joins the caller's trace (the gateway fan-out /
+// replication-ship path), a missing or malformed one mints a fresh
+// trace, and the response always carries the root span's context in
+// X-Waldo-Trace so callers can pull the trace from /debug/traces.
+// Handlers reach the root span via telemetry.SpanFromContext on the
+// request context; 5xx responses mark the trace errored, which pins it
+// in the flight recorder's error ring. The route latency histogram
+// receives the trace as an exemplar, linking /metrics tail buckets to
+// retained traces.
 func (r *Registry) WrapRoute(route string, next http.Handler) http.Handler {
 	if r == nil {
 		return next
@@ -57,13 +68,28 @@ func (r *Registry) WrapRoute(route string, next http.Handler) http.Handler {
 		"Requests currently being served.")
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		inFlight.Inc()
+		parent, _ := ParseTraceHeader(req.Header.Get(TraceHeader))
+		sp := r.StartTrace(route, parent)
+		sc := sp.Context()
+		w.Header().Set(TraceHeader, sc.Header())
+		req = req.WithContext(ContextWithSpan(req.Context(), sp))
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(sr, req)
 		if sr.code == 0 {
 			sr.code = http.StatusOK
 		}
-		latency.Observe(time.Since(start).Seconds())
+		end := time.Now()
+		sp.SetAttr("code", strconv.Itoa(sr.code))
+		if sr.code >= http.StatusInternalServerError {
+			sp.Fail("HTTP " + strconv.Itoa(sr.code))
+		}
+		if sc.Sampled {
+			latency.ObserveWithExemplar(end.Sub(start).Seconds(), sc.Trace, end)
+		} else {
+			latency.Observe(end.Sub(start).Seconds())
+		}
+		sp.End()
 		inFlight.Dec()
 		// Counter instances are per status code; look up after serving.
 		r.Counter(metricHTTPRequests, "HTTP requests by route and status code.",

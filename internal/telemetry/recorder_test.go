@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordTrace pushes one synthetic completed trace through the public
+// StartTrace path so classification happens exactly as in production.
+func recordTrace(r *Registry, endpoint string, fail bool) TraceID {
+	sp := r.StartTrace(endpoint, SpanContext{})
+	id := sp.TraceID()
+	if fail {
+		sp.Fail("synthetic failure")
+	}
+	sp.End()
+	return id
+}
+
+func newTestRecorder(t *testing.T, opts RecorderOptions) (*Registry, *Recorder) {
+	t.Helper()
+	r := New()
+	if opts.Metrics == nil {
+		opts.Metrics = r
+	}
+	rec := NewRecorder(opts)
+	t.Cleanup(rec.Close)
+	r.SetFlightRecorder(rec)
+	return r, rec
+}
+
+// TestErroredTracesSurviveSamplingPressure is the tail-sampling contract:
+// with far more healthy traffic than the rings hold, every errored trace
+// is still retained, because errors live in their own ring.
+func TestErroredTracesSurviveSamplingPressure(t *testing.T) {
+	const capacity = 32
+	r, rec := newTestRecorder(t, RecorderOptions{Capacity: capacity})
+
+	var errored []TraceID
+	for i := 0; i < 20; i++ {
+		errored = append(errored, recordTrace(r, "/v1/readings", true))
+		// 100× healthy pressure: 2000 OK traces vs 32 recent slots.
+		for j := 0; j < 100; j++ {
+			recordTrace(r, "/v1/readings", false)
+		}
+	}
+
+	for _, id := range errored {
+		got := rec.Snapshot(TraceFilter{TraceID: id.String()})
+		if len(got) != 1 {
+			t.Fatalf("errored trace %s evicted by healthy traffic", id)
+		}
+		if got[0].Class != "error" {
+			t.Fatalf("trace %s class = %q, want error", id, got[0].Class)
+		}
+	}
+	// The recent ring is full but bounded.
+	if got := len(rec.Snapshot(TraceFilter{Class: "recent"})); got != capacity {
+		t.Fatalf("recent ring holds %d, want %d", got, capacity)
+	}
+	if v := r.Counter("waldo_trace_evicted_total", "", "class", "recent").Value(); v == 0 {
+		t.Fatal("no recent evictions counted under pressure")
+	}
+	if v := r.Counter("waldo_trace_evicted_total", "", "class", "error").Value(); v != 0 {
+		t.Fatalf("error ring evicted %d with only 20 errored traces recorded", v)
+	}
+}
+
+// TestErrorRingWrapsAtCapacity: the no-starvation guarantee is per-ring;
+// once the error ring itself wraps, the oldest errors go.
+func TestErrorRingWrapsAtCapacity(t *testing.T) {
+	r, rec := newTestRecorder(t, RecorderOptions{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		recordTrace(r, "/v1/readings", true)
+	}
+	if got := len(rec.Snapshot(TraceFilter{Class: "error"})); got != 8 {
+		t.Fatalf("error ring holds %d, want 8", got)
+	}
+	if v := r.Counter("waldo_trace_evicted_total", "", "class", "error").Value(); v != 12 {
+		t.Fatalf("error evictions = %d, want 12", v)
+	}
+}
+
+func TestSlowClassification(t *testing.T) {
+	r, rec := newTestRecorder(t, RecorderOptions{
+		Capacity:          16,
+		MinSamples:        4,
+		RecomputeInterval: time.Hour, // recompute manually, not by timer
+	})
+	// Seed the endpoint's duration window with fast traces, then force
+	// the threshold refresh.
+	for i := 0; i < 10; i++ {
+		recordTrace(r, "/v1/model", false)
+	}
+	rec.recompute()
+
+	// A trace slower than everything in the window lands in the slow ring.
+	sp := r.StartTrace("/v1/model", SpanContext{})
+	id := sp.TraceID()
+	time.Sleep(20 * time.Millisecond)
+	sp.End()
+
+	got := rec.Snapshot(TraceFilter{TraceID: id.String()})
+	if len(got) != 1 || got[0].Class != "slow" {
+		t.Fatalf("slow trace retained as %+v", got)
+	}
+	// min_ms filtering finds it; an absurd floor does not.
+	if n := len(rec.Snapshot(TraceFilter{MinDuration: 10 * time.Millisecond})); n != 1 {
+		t.Fatalf("min_ms filter matched %d traces, want 1", n)
+	}
+	if n := len(rec.Snapshot(TraceFilter{MinDuration: time.Hour})); n != 0 {
+		t.Fatalf("1h floor matched %d traces", n)
+	}
+}
+
+// TestRecorderConcurrentRecordReadClose hammers record/Snapshot/Handler
+// while Close fires mid-flight; run with -race this is the data-race
+// gate, and the goroutine accounting below is the leak gate.
+func TestRecorderConcurrentRecordReadClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for iter := 0; iter < 5; iter++ {
+		r := New()
+		rec := NewRecorder(RecorderOptions{Capacity: 16, RecomputeInterval: time.Millisecond, Metrics: r})
+		r.SetFlightRecorder(rec)
+		srv := httptest.NewServer(rec.Handler())
+
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					recordTrace(r, fmt.Sprintf("/ep%d", w%2), i%7 == 0)
+				}
+			}(w)
+		}
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					rec.Snapshot(TraceFilter{})
+					resp, err := srv.Client().Get(srv.URL + "?limit=5")
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec.Close() // races with everything above, by design
+		}()
+		wg.Wait()
+		rec.Close() // idempotent
+		// Retained traces stay readable after Close.
+		rec.Snapshot(TraceFilter{})
+		srv.Close()
+	}
+
+	// Give the closed loops a moment to unwind, then check for leaks.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after 5 recorder lifecycles", before, runtime.NumGoroutine())
+}
+
+func TestRecorderHandler(t *testing.T) {
+	r, rec := newTestRecorder(t, RecorderOptions{Capacity: 8})
+	okID := recordTrace(r, "/v1/model", false)
+	badID := recordTrace(r, "/v1/readings", true)
+
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	get := func(q string) (*http.Response, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if _, err := fmt.Fprint(&b, readAll(t, resp)); err != nil {
+			t.Fatal(err)
+		}
+		return resp, b.String()
+	}
+
+	// JSON default, with count and both traces.
+	resp, body := get("")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var out struct {
+		Count  int         `json:"count"`
+		Traces []TraceData `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Count != 2 {
+		t.Fatalf("count = %d, want 2", out.Count)
+	}
+
+	// Filters: class, endpoint, trace ID.
+	_, body = get("?class=error")
+	if !strings.Contains(body, badID.String()) || strings.Contains(body, okID.String()) {
+		t.Fatalf("class=error returned:\n%s", body)
+	}
+	_, body = get("?endpoint=/v1/model")
+	if !strings.Contains(body, okID.String()) || strings.Contains(body, badID.String()) {
+		t.Fatalf("endpoint filter returned:\n%s", body)
+	}
+	_, body = get("?trace=" + okID.String())
+	if !strings.Contains(body, okID.String()) {
+		t.Fatalf("trace filter returned:\n%s", body)
+	}
+
+	// Text rendering carries the span tree.
+	resp, body = get("?format=text")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("text content type %q", ct)
+	}
+	if !strings.Contains(body, "trace "+badID.String()) || !strings.Contains(body, "ERROR") {
+		t.Fatalf("text rendering:\n%s", body)
+	}
+
+	// Bad parameters are rejected.
+	for _, q := range []string{"?min_ms=nope", "?limit=0", "?limit=x"} {
+		if resp, _ := get(q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s -> %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// A nil recorder's handler answers 404 instead of panicking.
+	var nilRec *Recorder
+	rr := httptest.NewRecorder()
+	nilRec.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("nil recorder -> %d, want 404", rr.Code)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

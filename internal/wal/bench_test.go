@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -21,7 +22,7 @@ func BenchmarkAppendGroupCommit(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.AppendReadings(rs)
+				s.AppendReadings(context.Background(), rs)
 			}
 			b.StopTimer()
 			if err := s.Sync(); err != nil {
@@ -46,7 +47,7 @@ func BenchmarkAppendDurable(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			s.AppendReadings(rs)
+			s.AppendReadings(context.Background(), rs)
 			if err := s.Sync(); err != nil {
 				b.Fatal(err)
 			}
@@ -66,7 +67,7 @@ func BenchmarkReplay(b *testing.B) {
 	}
 	const records = 2000
 	for i := 0; i < records; i++ {
-		s.AppendReadings(testReadings(i, 1))
+		s.AppendReadings(context.Background(), testReadings(i, 1))
 	}
 	if err := s.Sync(); err != nil {
 		b.Fatal(err)

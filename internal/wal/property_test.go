@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -40,7 +41,7 @@ func buildStore(t *testing.T, nBatches int) string {
 	dir := t.TempDir()
 	s, _ := openTestStore(t, dir, nil)
 	for i := 0; i < nBatches; i++ {
-		s.AppendReadings(testReadings(i, 1))
+		s.AppendReadings(context.Background(), testReadings(i, 1))
 	}
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
@@ -174,12 +175,12 @@ func TestRandomAppendCrashReplay(t *testing.T) {
 					n := 1 + rng.Intn(5)
 					rs := testReadings(seq, n)
 					seq += n
-					s.AppendReadings(rs)
+					s.AppendReadings(context.Background(), rs)
 					want = append(want, rs...)
 				case 3: // retrain marker over the current store
 					wantVersion++
 					wantTrained = len(want)
-					s.RecordRetrain(wantVersion, wantTrained)
+					s.RecordRetrain(context.Background(), wantVersion, wantTrained)
 				case 4: // snapshot compaction
 					epoch, err := s.BeginCheckpoint()
 					if err != nil {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 // Store record payload kinds.
@@ -50,6 +52,11 @@ type StoreOptions struct {
 	// flusher forces an fsync (the group-commit coalescing window). Zero
 	// means the default; Sync always forces an immediate fsync regardless.
 	FlushInterval time.Duration
+	// Log, when set, receives structured events for the paths that used
+	// to fail silently into counters: replay truncation/corruption, a
+	// wedged log, dropped journal records, snapshot failures. nil
+	// disables logging (every wlog method is nil-safe).
+	Log *wlog.Logger
 }
 
 // Recovered is the state OpenStore rebuilt from disk, to be fed into
@@ -76,7 +83,10 @@ type Store struct {
 	ch   rfenv.Channel
 	kind sensor.Kind
 	m    logMetrics
-	log  *Log
+	// reg mints wal/append spans into request traces (nil-safe).
+	reg *telemetry.Registry
+	lg  *wlog.Logger
+	log *Log
 	// scratch is the reusable record-payload buffer for the journal
 	// methods. Safe without a lock: core.Journal calls are serialized by
 	// the updater's store lock, and Log.Append copies the payload into
@@ -95,6 +105,7 @@ func OpenStore(dir string, ch rfenv.Channel, kind sensor.Kind, opts StoreOptions
 	}
 	scope := fmt.Sprintf("%d/%d", int(ch), int(kind))
 	m := newLogMetrics(opts.Metrics, scope)
+	lg := opts.Log.Named("wal")
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("wal: create store dir: %w", err)
 	}
@@ -120,12 +131,23 @@ func OpenStore(dir string, ch rfenv.Channel, kind sensor.Kind, opts StoreOptions
 		return nil, nil, err
 	}
 	m.replaySeconds.Observe(time.Since(start).Seconds())
+	if stats.TornTail {
+		lg.Warn(context.Background(), "wal_torn_tail_truncated", "dir", dir)
+	}
+	if stats.CorruptAt != nil {
+		lg.Error(context.Background(), "wal_corrupt_record",
+			"dir", dir, "epoch", stats.CorruptAt.Epoch, "offset", stats.CorruptAt.Offset)
+	}
+	lg.Info(context.Background(), "wal_recovered", "dir", dir,
+		"segments", stats.Segments, "records", stats.Records,
+		"readings", len(rec.Readings), "model_version", rec.ModelVersion)
 
-	log, err := openLog(dir, fs, m, top, opts.FlushInterval)
+	log, err := openLog(dir, fs, m, lg, top, opts.FlushInterval)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Store{dir: dir, fs: fs, ch: ch, kind: kind, m: m, log: log}, rec, nil
+	return &Store{dir: dir, fs: fs, ch: ch, kind: kind, m: m,
+		reg: opts.Metrics, lg: lg, log: log}, rec, nil
 }
 
 // applyRecord folds one replayed record into the recovered state.
@@ -184,13 +206,22 @@ func DecodeRetrainRecord(payload []byte) (version, trainedCount int, err error) 
 // the next group commit. Called under the updater's store lock, so the
 // journal order is the store order. A wedged log counts the drop instead
 // of blocking ingest (waldo_wal_dropped_records_total; alert on
-// waldo_wal_failed).
-func (s *Store) AppendReadings(rs []dataset.Reading) {
+// waldo_wal_failed). The group-commit enqueue (encode + Append,
+// including any backpressure wait against a saturated disk) is
+// attributed to the request trace in ctx as a wal/append span.
+func (s *Store) AppendReadings(ctx context.Context, rs []dataset.Reading) {
+	sp := s.reg.StartSpanCtx(ctx, "wal/append")
+	sp.SetAttr("store", StoreDirName(s.ch, s.kind))
 	s.scratch = append(s.scratch[:0], recAppend)
 	s.scratch = core.AppendReadingsWire(s.scratch, rs)
 	if err := s.log.Append(s.scratch); err != nil {
 		s.m.dropped.Inc()
+		sp.Fail(err.Error())
+		s.lg.Error(ctx, "wal_record_dropped",
+			"store", StoreDirName(s.ch, s.kind), "kind", "append",
+			"readings", len(rs), "err", err)
 	}
+	sp.End()
 }
 
 // buildAppendPayload renders a reading-batch record payload.
@@ -201,13 +232,16 @@ func buildAppendPayload(rs []dataset.Reading) []byte {
 }
 
 // RecordRetrain implements core.Journal: it queues a retrain marker.
-func (s *Store) RecordRetrain(version, trainedCount int) {
+func (s *Store) RecordRetrain(ctx context.Context, version, trainedCount int) {
 	payload := make([]byte, 9)
 	payload[0] = recRetrain
 	binary.LittleEndian.PutUint32(payload[1:], uint32(version))
 	binary.LittleEndian.PutUint32(payload[5:], uint32(trainedCount))
 	if err := s.log.Append(payload); err != nil {
 		s.m.dropped.Inc()
+		s.lg.Error(ctx, "wal_record_dropped",
+			"store", StoreDirName(s.ch, s.kind), "kind", "retrain",
+			"version", version, "err", err)
 	}
 }
 
@@ -239,6 +273,8 @@ func (s *Store) CompleteCheckpoint(epoch uint64, readings []dataset.Reading, mod
 	}
 	if err != nil {
 		s.m.snapshotErrs.Inc()
+		s.lg.Error(context.Background(), "wal_snapshot_failed",
+			"store", StoreDirName(s.ch, s.kind), "epoch", epoch, "err", err)
 		return err
 	}
 	s.m.snapshots.Inc()

@@ -58,6 +58,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -66,6 +67,7 @@ import (
 	"time"
 
 	"github.com/wsdetect/waldo/internal/telemetry"
+	"github.com/wsdetect/waldo/internal/wlog"
 )
 
 const (
@@ -167,6 +169,7 @@ type Log struct {
 	dir      string
 	fs       FS
 	m        logMetrics
+	lg       *wlog.Logger
 	interval time.Duration // fsync coalescing window
 
 	mu       sync.Mutex
@@ -195,11 +198,11 @@ const defaultFlushInterval = 5 * time.Millisecond
 // openLog opens (creating if needed) the log in dir for appending,
 // resuming at the highest existing segment epoch. Call replaySegments
 // before the first Append.
-func openLog(dir string, fs FS, m logMetrics, epoch uint64, interval time.Duration) (*Log, error) {
+func openLog(dir string, fs FS, m logMetrics, lg *wlog.Logger, epoch uint64, interval time.Duration) (*Log, error) {
 	if interval <= 0 {
 		interval = defaultFlushInterval
 	}
-	l := &Log{dir: dir, fs: fs, m: m, epoch: epoch, interval: interval}
+	l := &Log{dir: dir, fs: fs, m: m, lg: lg, epoch: epoch, interval: interval}
 	l.cond = sync.NewCond(&l.mu)
 	f, err := fs.OpenAppend(filepath.Join(dir, segName(epoch)))
 	if err != nil {
@@ -336,6 +339,10 @@ func (l *Log) flusher() {
 		if err != nil && l.err == nil {
 			l.err = fmt.Errorf("wal: flush: %w", err)
 			l.m.failed.Set(1)
+			// Fail-stop is deliberate; make it loud. Every subsequent
+			// append drops, so this line is the root cause of the
+			// wal_record_dropped stream that follows.
+			l.lg.Error(context.Background(), "wal_wedged", "dir", l.dir, "err", err)
 		}
 		if l.err != nil {
 			l.dirty = false // wedged: nothing further to sync

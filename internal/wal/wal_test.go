@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -85,9 +86,9 @@ func TestStoreRecoverAfterClose(t *testing.T) {
 	if len(rec.Readings) != 0 || rec.ModelVersion != 0 {
 		t.Fatalf("fresh store recovered state: %+v", rec)
 	}
-	s.AppendReadings(testReadings(0, 3))
-	s.RecordRetrain(1, 3)
-	s.AppendReadings(testReadings(3, 2))
+	s.AppendReadings(context.Background(), testReadings(0, 3))
+	s.RecordRetrain(context.Background(), 1, 3)
+	s.AppendReadings(context.Background(), testReadings(3, 2))
 	if err := s.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
@@ -113,7 +114,7 @@ func TestStoreRecoverWithoutClose(t *testing.T) {
 	// Close — simulated by simply abandoning the store.
 	dir := t.TempDir()
 	s, _ := openTestStore(t, dir, nil)
-	s.AppendReadings(testReadings(0, 4))
+	s.AppendReadings(context.Background(), testReadings(0, 4))
 	if err := s.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
@@ -129,14 +130,14 @@ func TestStoreRecoverWithoutClose(t *testing.T) {
 func TestCheckpointCompactsSegments(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openTestStore(t, dir, nil)
-	s.AppendReadings(testReadings(0, 5))
-	s.RecordRetrain(1, 5)
+	s.AppendReadings(context.Background(), testReadings(0, 5))
+	s.RecordRetrain(context.Background(), 1, 5)
 	epoch, err := s.BeginCheckpoint()
 	if err != nil {
 		t.Fatalf("BeginCheckpoint: %v", err)
 	}
 	// Appends after the cut belong to the new segment, not the snapshot.
-	s.AppendReadings(testReadings(5, 2))
+	s.AppendReadings(context.Background(), testReadings(5, 2))
 	if err := s.CompleteCheckpoint(epoch, testReadings(0, 5), 1, 5); err != nil {
 		t.Fatalf("CompleteCheckpoint: %v", err)
 	}
@@ -170,11 +171,11 @@ func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
 	// must recover everything from the log alone.
 	dir := t.TempDir()
 	s, _ := openTestStore(t, dir, nil)
-	s.AppendReadings(testReadings(0, 3))
+	s.AppendReadings(context.Background(), testReadings(0, 3))
 	if _, err := s.BeginCheckpoint(); err != nil {
 		t.Fatal(err)
 	}
-	s.AppendReadings(testReadings(3, 2))
+	s.AppendReadings(context.Background(), testReadings(3, 2))
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestTornTailTruncatedAndCounted(t *testing.T) {
 	dir := t.TempDir()
 	reg := telemetry.New()
 	s, _ := openTestStore(t, dir, nil)
-	s.AppendReadings(testReadings(0, 3))
+	s.AppendReadings(context.Background(), testReadings(0, 3))
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestTornTailTruncatedAndCounted(t *testing.T) {
 func TestCorruptSnapshotRefusesToOpen(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openTestStore(t, dir, nil)
-	s.AppendReadings(testReadings(0, 3))
+	s.AppendReadings(context.Background(), testReadings(0, 3))
 	epoch, err := s.BeginCheckpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -295,14 +296,14 @@ func TestWedgedLogFailStop(t *testing.T) {
 	defer s.Close()
 
 	fs.failSyncs.Store(true)
-	s.AppendReadings(testReadings(0, 1))
+	s.AppendReadings(context.Background(), testReadings(0, 1))
 	if err := s.Sync(); err == nil {
 		t.Fatal("Sync succeeded through a failing fsync")
 	}
 	// The log is now wedged: further journal records are dropped and
 	// counted, never silently lost.
-	s.AppendReadings(testReadings(1, 1))
-	s.RecordRetrain(1, 1)
+	s.AppendReadings(context.Background(), testReadings(1, 1))
+	s.RecordRetrain(context.Background(), 1, 1)
 	scope := fmt.Sprintf("%d/%d", int(testCh), int(testKind))
 	if v := reg.Counter("waldo_wal_dropped_records_total", "", "store", scope).Value(); v != 2 {
 		t.Errorf("waldo_wal_dropped_records_total = %d, want 2", v)

@@ -112,3 +112,57 @@ func TestClusterMetricsDocumentedWithAlerts(t *testing.T) {
 		t.Errorf("OPERATIONS.md documents only %d waldo_cluster_* rows; the cluster tier exports 9", len(documented))
 	}
 }
+
+// TestObservabilityMetricsDocumentedWithAlerts holds the observability
+// pipeline's own series (flight recorder, structured log) to the same
+// bar as the cluster tier: an alert-bearing table row each, not a mere
+// mention — these metrics are what tells an operator their telemetry is
+// lying to them, so "documented somewhere" isn't enough.
+func TestObservabilityMetricsDocumentedWithAlerts(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`(waldo_(?:trace|log)_[a-z0-9_]+)`\\s*\\|([^|]*)\\|([^|]*)\\|")
+	documented := map[string]bool{}
+	for _, m := range rowRE.FindAllSubmatch(doc, -1) {
+		name := string(m[1])
+		if strings.TrimSpace(string(m[2])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Meaning column", name)
+		}
+		if strings.TrimSpace(string(m[3])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Alert column", name)
+		}
+		documented[name] = true
+	}
+
+	metricRE := regexp.MustCompile(`"(waldo_(?:trace|log)_[a-z0-9_]+)"`)
+	for _, dir := range []string{"internal/telemetry", "internal/wlog"} {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricRE.FindAllSubmatch(src, -1) {
+				name := string(m[1])
+				if !documented[name] {
+					t.Errorf("observability metric %s (in %s) has no alert-bearing table row in OPERATIONS.md §2.6", name, path)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(documented) < 4 {
+		t.Errorf("OPERATIONS.md documents only %d waldo_trace_*/waldo_log_* rows; the pipeline exports 4", len(documented))
+	}
+}

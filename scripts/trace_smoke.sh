@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# End-to-end trace smoke: boots the same real-process 3-shard cluster
+# as cluster_smoke.sh, issues ONE traced upload through the gateway,
+# and asserts the distributed trace actually crossed the tiers — the
+# response's X-Waldo-Trace ID must name a trace retained in the
+# gateway's flight recorder (route root + fan-out leg) AND in the
+# owning shard's recorder (route root + wal/append span). This is the
+# out-of-process proof that header propagation, /debug/traces, and the
+# WAL span attribution survive flag parsing and real sockets, not just
+# the in-process test harness.
+#
+# Usage: scripts/trace_smoke.sh [bin-dir]
+# Binaries are taken from bin-dir (default ./bin); build them with
+# `make trace-smoke` or `go build -o bin ./cmd/...`.
+set -euo pipefail
+
+BIN=${1:-bin}
+GATEWAY_PORT=${GATEWAY_PORT:-9100}
+SHARD_PORTS=(9101 9102 9103)
+
+for exe in waldo-server waldo-gateway; do
+    if [ ! -x "$BIN/$exe" ]; then
+        echo "missing $BIN/$exe (run: go build -o $BIN ./cmd/...)" >&2
+        exit 1
+    fi
+done
+
+WORK=$(mktemp -d /tmp/waldo-trace.XXXXXX)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+wait_port() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "port $1 never came up" >&2
+    return 1
+}
+
+SHARDS=""
+for i in "${!SHARD_PORTS[@]}"; do
+    port=${SHARD_PORTS[$i]}
+    id="s$i"
+    "$BIN/waldo-server" -addr "127.0.0.1:$port" -shard-id "$id" \
+        -data-dir "$WORK/$id" -classifier nb \
+        >"$WORK/$id.log" 2>&1 &
+    PIDS+=($!)
+    SHARDS="${SHARDS:+$SHARDS;}$id=http://127.0.0.1:$port"
+done
+for port in "${SHARD_PORTS[@]}"; do
+    wait_port "$port"
+done
+
+"$BIN/waldo-gateway" -addr "127.0.0.1:$GATEWAY_PORT" -shards "$SHARDS" \
+    >"$WORK/gateway.log" 2>&1 &
+PIDS+=($!)
+wait_port "$GATEWAY_PORT"
+echo "cluster up: gateway :$GATEWAY_PORT, shards ${SHARD_PORTS[*]}"
+
+# One single-cell upload (4 readings clustered near the metro center, so
+# the gateway's fast path forwards it whole to exactly one shard).
+BODY='{"ci_span_db":0.4,"readings":[
+ {"seq":0,"lat":33.7490,"lon":-84.3880,"channel":47,"sensor":1,"rss_dbm":-70,"cft_db":-81.3,"aft_db":-83},
+ {"seq":1,"lat":33.7491,"lon":-84.3881,"channel":47,"sensor":1,"rss_dbm":-71,"cft_db":-82.3,"aft_db":-84},
+ {"seq":2,"lat":33.7492,"lon":-84.3879,"channel":47,"sensor":1,"rss_dbm":-69,"cft_db":-80.3,"aft_db":-82},
+ {"seq":3,"lat":33.7489,"lon":-84.3882,"channel":47,"sensor":1,"rss_dbm":-70.5,"cft_db":-81.8,"aft_db":-83.5}]}'
+
+HDRS="$WORK/upload.headers"
+curl -fsS -o /dev/null -D "$HDRS" \
+    -H 'Content-Type: application/json' \
+    -d "$BODY" "http://127.0.0.1:$GATEWAY_PORT/v1/readings" || {
+    echo "upload failed; gateway log:" >&2
+    tail -20 "$WORK/gateway.log" >&2
+    exit 1
+}
+
+# Response headers carry the trace context and the shard that served it.
+TRACEPARENT=$(tr -d '\r' <"$HDRS" | awk -F': ' 'tolower($1)=="x-waldo-trace"{print $2}')
+SHARD=$(tr -d '\r' <"$HDRS" | awk -F': ' 'tolower($1)=="x-waldo-shard"{print $2}')
+TRACE_ID=$(printf '%s' "$TRACEPARENT" | cut -d- -f2)
+if ! printf '%s' "$TRACE_ID" | grep -Eq '^[0-9a-f]{32}$'; then
+    echo "bad X-Waldo-Trace header: '$TRACEPARENT'" >&2
+    exit 1
+fi
+if [ -z "$SHARD" ]; then
+    echo "missing X-Waldo-Shard header" >&2
+    exit 1
+fi
+echo "upload accepted: trace=$TRACE_ID shard=$SHARD"
+
+# Gateway recorder: the trace must exist and contain the fan-out leg
+# naming the serving shard.
+GW_TRACE=$(curl -fsS "http://127.0.0.1:$GATEWAY_PORT/debug/traces?trace=$TRACE_ID&format=text")
+printf '%s\n' "$GW_TRACE" | grep -q "trace $TRACE_ID" || {
+    echo "gateway recorder did not retain trace $TRACE_ID" >&2
+    exit 1
+}
+printf '%s\n' "$GW_TRACE" | grep -q "/v1/readings/leg .*shard=$SHARD" || {
+    echo "gateway trace has no leg span for shard $SHARD:" >&2
+    printf '%s\n' "$GW_TRACE" >&2
+    exit 1
+}
+echo "gateway trace OK (route + leg shard=$SHARD)"
+
+# Owning shard's recorder: same trace ID, with the WAL append span.
+SHARD_IDX=${SHARD#s}
+SHARD_PORT=${SHARD_PORTS[$SHARD_IDX]}
+SH_TRACE=$(curl -fsS "http://127.0.0.1:$SHARD_PORT/debug/traces?trace=$TRACE_ID&format=text")
+printf '%s\n' "$SH_TRACE" | grep -q "trace $TRACE_ID .*/v1/readings" || {
+    echo "shard $SHARD did not retain trace $TRACE_ID" >&2
+    printf '%s\n' "$SH_TRACE" >&2
+    exit 1
+}
+printf '%s\n' "$SH_TRACE" | grep -q "wal/append" || {
+    echo "shard trace has no wal/append span:" >&2
+    printf '%s\n' "$SH_TRACE" >&2
+    exit 1
+}
+echo "shard trace OK (route + wal/append on $SHARD)"
+
+echo
+echo "trace smoke OK: one trace ID crossed gateway -> $SHARD -> WAL"
