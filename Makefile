@@ -3,16 +3,23 @@
 
 GO ?= go
 
-.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest bench-e2e bench-e2e-smoke crash-test loadgen chaos cluster-test trace-smoke clean
+.PHONY: check verify build test race vet fmt-check bench bench-telemetry bench-wal bench-cluster bench-ingest bench-e2e bench-e2e-smoke bench-geo crash-test doccheck loadgen chaos cluster-test trace-smoke clean
 
 check: vet build race
 
 # Full pre-merge verification: formatting, vet, build, tests, the
 # sharded-cluster suite (in-process chaos harness + real-process smoke),
 # a seconds-long smoke tier of the latency-SLO harness under the race
-# detector, and the end-to-end trace smoke (one traced upload must cross
-# gateway -> shard -> WAL under a single trace ID).
-verify: fmt-check vet build test cluster-test bench-e2e-smoke trace-smoke
+# detector, the end-to-end trace smoke (one traced upload must cross
+# gateway -> shard -> WAL under a single trace ID), and the godoc
+# coverage gate on contract-surface packages.
+verify: fmt-check vet build test doccheck cluster-test bench-e2e-smoke trace-smoke
+
+# Godoc coverage on contract-surface packages: every exported
+# identifier (funcs, methods, types, consts, vars, struct fields) must
+# carry a doc comment. The package list lives in scripts/doccheck.sh.
+doccheck:
+	scripts/doccheck.sh
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -142,9 +149,35 @@ bench-e2e:
 	$(GO) run ./cmd/waldo-bench-e2e -out BENCH_E2E.json -tiers '$(E2E_TIERS)' -tier-duration $(E2E_TIER_DURATION)
 
 # The verify-time slice: the harness's own test suite under -race (smoke
-# tiers on both topologies plus the shutdown goroutine-leak checks).
+# tiers on both topologies, the geo-query tiers with the
+# rebuild-off-the-request-path check, plus the shutdown goroutine-leak
+# checks).
 bench-e2e-smoke:
 	$(GO) test -race ./internal/benchharness/ -count 1
+
+# Spatiotemporal query harness (DESIGN.md §15): boots the single and
+# 3-shard gateway topologies and drives GET /v1/availability + POST
+# /v1/route open-loop at fixed tiers while periodic retrains keep the
+# availability grid rebuilding underneath. APPENDS per-endpoint
+# p50/p95/p99/p999 plus published-rebuild counts to the BENCH_10.json
+# trajectory (bench_e2e/v1 schema); once two runs exist,
+# scripts/bench_regress.sh gates route/availability p99 between the last
+# two runs. The threshold is looser than the microbench default: these
+# are ms-scale p99s from seconds-long tiers on whatever box CI hands us,
+# where ±40% scheduler noise is routine — the gate exists to catch the
+# order-of-magnitude blowup of rebuild work landing on the request path,
+# not to relitigate jitter.
+GEO_TIERS ?= 500=500,2k=2000,5k=5000
+GEO_TIER_DURATION ?= 5s
+GEO_REGRESS_PCT ?= 50
+
+bench-geo:
+	$(GO) run ./cmd/waldo-bench-geo -out BENCH_10.json -tiers '$(GEO_TIERS)' -tier-duration $(GEO_TIER_DURATION)
+	@if [ "$$(grep -c '"time":' BENCH_10.json)" -ge 2 ]; then \
+		scripts/bench_regress.sh BENCH_10.json $(GEO_REGRESS_PCT); \
+	else \
+		echo "bench-geo: first run recorded; the regression gate engages from the second run"; \
+	fi
 
 clean:
 	$(GO) clean ./...

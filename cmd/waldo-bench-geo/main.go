@@ -1,0 +1,154 @@
+// Command waldo-bench-geo runs the spatiotemporal-query latency harness
+// (internal/benchharness.RunGeoTier): it boots the real server stack
+// in-process — a single waldo-server and/or the sharded gateway
+// topology — and drives GET /v1/availability and POST /v1/route with
+// open-loop load at fixed tiers while periodic retrains keep the
+// availability grid rebuilding underneath. The measured trajectory
+// (per-endpoint p50/p95/p99/p999 from scheduled start, grid rebuilds
+// published, GC pauses) is appended to a BENCH_10.json file in the same
+// bench_e2e/v1 schema as BENCH_E2E.json, so scripts/bench_regress.sh
+// gates route-query p99 across runs with no new tooling.
+//
+// Usage:
+//
+//	waldo-bench-geo -out BENCH_10.json               # full 500/2k/5k sweep
+//	waldo-bench-geo -smoke -out BENCH_10.json        # seconds-long sanity tier
+//	waldo-bench-geo -render -out BENCH_10.json       # print the markdown table
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/benchharness"
+	"github.com/wsdetect/waldo/internal/rfenv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waldo-bench-geo:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTiers reads "name=queries/s,..." tier specs.
+func parseTiers(spec string, dur, retrainEvery time.Duration) ([]benchharness.GeoTier, error) {
+	var tiers []benchharness.GeoTier
+	for _, part := range strings.Split(spec, ",") {
+		name, rateStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tier %q (want name=rate)", part)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad tier rate %q", rateStr)
+		}
+		tiers = append(tiers, benchharness.GeoTier{
+			Name: name, Rate: rate, Duration: dur, RetrainEvery: retrainEvery,
+		})
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("no tiers")
+	}
+	return tiers, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waldo-bench-geo", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_10.json", "trajectory file to append the run to")
+	topologies := fs.String("topologies", "single,cluster", "comma-separated topologies to sweep (single, cluster)")
+	tiersSpec := fs.String("tiers", "500=500,2k=2000,5k=5000", "comma-separated name=queries/s tiers (each rate drives both an availability and a route stream)")
+	tierDur := fs.Duration("tier-duration", 5*time.Second, "load duration per tier")
+	retrainEvery := fs.Duration("retrain-every", 500*time.Millisecond, "retrain period during each tier; every retrain schedules a grid rebuild (negative = never)")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	samples := fs.Int("samples", 300, "bootstrap campaign size per channel")
+	shards := fs.Int("shards", 3, "cluster topology shard count")
+	smoke := fs.Bool("smoke", false, "run one short sanity tier instead of the full sweep")
+	render := fs.Bool("render", false, "print the latest run as a markdown table and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *render {
+		traj, err := benchharness.LoadTrajectory(*out)
+		if err != nil {
+			return err
+		}
+		table, err := traj.RenderMarkdown()
+		if err != nil {
+			return err
+		}
+		fmt.Print(table)
+		return nil
+	}
+
+	if *smoke {
+		*tiersSpec = "smoke=500"
+		*tierDur = 1500 * time.Millisecond
+	}
+	tiers, err := parseTiers(*tiersSpec, *tierDur, *retrainEvery)
+	if err != nil {
+		return err
+	}
+
+	run := benchharness.Run{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	for _, topo := range strings.Split(*topologies, ",") {
+		topo = strings.TrimSpace(topo)
+		cfg := benchharness.Config{
+			Topology: topo,
+			Seed:     *seed,
+			Channels: []rfenv.Channel{46, 47},
+			Samples:  *samples,
+			Shards:   *shards,
+		}
+		fmt.Printf("=== topology %s: booting + bootstrap...\n", topo)
+		boot := time.Now()
+		h, err := benchharness.Start(cfg)
+		if err != nil {
+			return fmt.Errorf("topology %s: %w", topo, err)
+		}
+		fmt.Printf("    up at %s in %v\n", h.BaseURL, time.Since(boot).Round(time.Millisecond))
+		topoRes := benchharness.TopologyResult{Topology: topo}
+		for _, tier := range tiers {
+			fmt.Printf("    tier %-6s offered %7.0f avail/s + %7.0f route/s for %v... ",
+				tier.Name, tier.Rate, tier.Rate, *tierDur)
+			res := h.RunGeoTier(ctx, tier)
+			fmt.Printf("%d queries, %d grid rebuilds, %d GC pauses\n",
+				res.AvailabilityLoop.Completed+res.RouteLoop.Completed,
+				res.GridRebuilds, res.GC.PauseCount)
+			topoRes.Tiers = append(topoRes.Tiers, res)
+		}
+		if err := h.Close(); err != nil {
+			return fmt.Errorf("topology %s close: %w", topo, err)
+		}
+		run.Topologies = append(run.Topologies, topoRes)
+	}
+
+	traj, err := benchharness.LoadTrajectory(*out)
+	if err != nil {
+		return err
+	}
+	traj.Append(run)
+	if err := traj.Write(*out); err != nil {
+		return err
+	}
+	fmt.Printf("\nappended run %d to %s\n\n", len(traj.Runs), *out)
+	table, err := traj.RenderMarkdown()
+	if err != nil {
+		return err
+	}
+	fmt.Print(table)
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseTiers(t *testing.T) {
+	tiers, err := parseTiers("500=500, 5k=5000", 2*time.Second, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 {
+		t.Fatalf("got %d tiers, want 2", len(tiers))
+	}
+	if tiers[0].Name != "500" || tiers[0].Rate != 500 {
+		t.Errorf("tier 0 = %+v", tiers[0])
+	}
+	if tiers[1].Name != "5k" || tiers[1].Rate != 5000 {
+		t.Errorf("tier 1 = %+v", tiers[1])
+	}
+	for _, tier := range tiers {
+		if tier.Duration != 2*time.Second || tier.RetrainEvery != 250*time.Millisecond {
+			t.Errorf("tier options not threaded through: %+v", tier)
+		}
+	}
+}
+
+func TestParseTiersRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"", "noequals", "x=", "x=-5", "x=abc"} {
+		if _, err := parseTiers(spec, time.Second, 0); err == nil {
+			t.Errorf("parseTiers(%q) accepted a bad spec", spec)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writePkg drops src into a fresh temp dir as pkg.go and returns the dir.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func names(ps []problem) map[string]string {
+	out := map[string]string{}
+	for _, p := range ps {
+		out[p.name] = p.kind
+	}
+	return out
+}
+
+func TestCheckDirFlagsUndocumented(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type Exported struct {
+	Field   int
+	Commented int // trailing comments count as docs
+}
+
+func Undoc() {}
+
+func (e *Exported) Method() {}
+
+const Loose = 1
+
+var V = 2
+
+type Iface interface {
+	Do()
+}
+`)
+	ps, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(ps)
+	want := map[string]string{
+		"Exported":        "type",
+		"Exported.Field":  "field",
+		"Undoc":           "func",
+		"Exported.Method": "method",
+		"Loose":           "const",
+		"V":               "var",
+		"Iface":           "type",
+		"Iface.Do":        "method",
+	}
+	for name, kind := range want {
+		if got[name] != kind {
+			t.Errorf("expected %s %s flagged, got %q", kind, name, got[name])
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flagged %v, want exactly %d problems", got, len(want))
+	}
+}
+
+func TestCheckDirAcceptsDocumentedAndUnexported(t *testing.T) {
+	dir := writePkg(t, `package p
+
+// Exported is documented.
+type Exported struct {
+	// Field is documented.
+	Field int
+	hidden int
+}
+
+// Do does.
+func Do() {}
+
+// Grouped consts share one doc comment.
+const (
+	A = 1
+	B = 2
+)
+
+// internal surface: methods on unexported types pass undocumented even
+// when capitalized (interface satisfaction).
+type impl struct{}
+
+func (impl) Do() {}
+
+func helper() {}
+`)
+	ps, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Errorf("expected no problems, got %v", names(ps))
+	}
+}
+
+func TestCheckDirSkipsTestFiles(t *testing.T) {
+	dir := writePkg(t, "package p\n\n// Doc'd.\nfunc Doc() {}\n")
+	err := os.WriteFile(filepath.Join(dir, "pkg_test.go"),
+		[]byte("package p\n\nfunc TestUndocumentedHelper() {}\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Errorf("test files must be exempt, got %v", names(ps))
+	}
+}

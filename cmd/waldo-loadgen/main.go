@@ -36,6 +36,14 @@
 // clears; 0 = never), and seed (defaults to -seed). The report then
 // includes injected-fault counts next to the client retry/stale/breaker
 // metrics.
+//
+// -trajectory switches the drive loop from scan/upload cycles to the
+// spatiotemporal query surface: each client follows a drifting
+// trajectory through the metro, querying GET /v1/availability at its
+// position and POST /v1/route for its look-ahead polyline every cycle.
+// This is the load shape behind `make bench-geo`:
+//
+//	waldo-loadgen -clients 16 -trajectory -rate 500 -duration 10s
 package main
 
 import (
@@ -96,6 +104,7 @@ type config struct {
 	gateway     string
 	cellDeg     float64
 	adminAddr   string
+	trajectory  bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -117,6 +126,7 @@ func parseFlags(args []string) (config, error) {
 	gateway := fs.String("gateway", "", "drive an external cluster gateway at this base URL instead of the in-process server (see waldo-gateway)")
 	cellDeg := fs.Float64("cell-deg", cluster.DefaultCellDeg, "geo-cell quantum for grouping -gateway bootstrap uploads (match the gateway's -cell-deg)")
 	adminAddr := fs.String("admin-addr", "", "opt-in admin listener for the loadgen process (pprof, /metrics, /debug/traces); empty = disabled")
+	trajectory := fs.Bool("trajectory", false, "drive availability/route queries along per-client trajectories instead of scan/upload cycles")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -136,6 +146,7 @@ func parseFlags(args []string) (config, error) {
 		gateway:     strings.TrimRight(*gateway, "/"),
 		cellDeg:     *cellDeg,
 		adminAddr:   *adminAddr,
+		trajectory:  *trajectory,
 	}
 	if cfg.clients < 1 {
 		return config{}, fmt.Errorf("-clients must be ≥ 1")
@@ -294,6 +305,9 @@ func run(args []string) error {
 	if cfg.batch > 0 {
 		fmt.Printf("batching:  binary frames, flush at %d readings\n", cfg.batch)
 	}
+	if cfg.trajectory {
+		fmt.Println("mode:      trajectory (availability + route queries)")
+	}
 	// One shared transport replays the seeded schedule across all
 	// clients: request sequence numbers form a single stream, so the
 	// same -faults spec injects the same pattern run over run.
@@ -447,6 +461,13 @@ type wsdWorker struct {
 	faulty      bool
 	gatewayMode bool
 	center      geo.Point
+
+	// Trajectory mode (-trajectory): the client's current position and
+	// heading, plus the query-latency histograms the report reads.
+	pos       geo.Point
+	heading   float64
+	availHist *telemetry.Histogram
+	routeHist *telemetry.Histogram
 }
 
 // newWSDWorker calibrates a simulated radio and downloads the initial
@@ -480,20 +501,24 @@ func newWSDWorker(cfg config, env *rfenv.Environment, baseURL string, faultTR *f
 	c.SetMetrics(reg)
 	gatewayMode := cfg.gateway != ""
 	models := make(map[rfenv.Channel]*core.Model, len(cfg.channels))
-	for _, ch := range cfg.channels {
-		if gatewayMode {
-			// Hint at a location that bootstrapped this channel, so the
-			// gateway routes the first fetch to a shard that has a model.
-			c.SetLocationHint(seedLocs[ch])
+	// Trajectory mode never senses, so it needs no models — its load is
+	// pure availability-grid queries.
+	if !cfg.trajectory {
+		for _, ch := range cfg.channels {
+			if gatewayMode {
+				// Hint at a location that bootstrapped this channel, so the
+				// gateway routes the first fetch to a shard that has a model.
+				c.SetLocationHint(seedLocs[ch])
+			}
+			m, _, err := c.Model(ch, sensor.KindRTLSDR)
+			for err != nil && faultTR != nil && time.Now().Before(deadline) {
+				m, _, err = c.Model(ch, sensor.KindRTLSDR)
+			}
+			if err != nil {
+				return nil, err
+			}
+			models[ch] = m
 		}
-		m, _, err := c.Model(ch, sensor.KindRTLSDR)
-		for err != nil && faultTR != nil && time.Now().Before(deadline) {
-			m, _, err = c.Model(ch, sensor.KindRTLSDR)
-		}
-		if err != nil {
-			return nil, err
-		}
-		models[ch] = m
 	}
 	w := &wsdWorker{
 		cfg:   cfg,
@@ -509,6 +534,14 @@ func newWSDWorker(cfg config, env *rfenv.Environment, baseURL string, faultTR *f
 		faulty:      faultTR != nil,
 		gatewayMode: gatewayMode,
 		center:      env.Area.Center(),
+	}
+	if cfg.trajectory {
+		w.pos = w.center.Offset(rng.Float64()*360, rng.Float64()*8000)
+		w.heading = rng.Float64() * 360
+		w.availHist = reg.Histogram("loadgen_availability_seconds",
+			"GET /v1/availability round-trip latency (trajectory mode).", nil)
+		w.routeHist = reg.Histogram("loadgen_route_seconds",
+			"POST /v1/route round-trip latency (trajectory mode).", nil)
 	}
 	// -batch mode: readings accumulate client-side and ship as binary
 	// frames — the tentpole ingest path. The buffer's own flush metrics
@@ -527,11 +560,58 @@ func (w *wsdWorker) close() {
 	}
 }
 
-// cycle runs one scan/upload round: re-fetch the model through the
+// cycle runs one load round: a scan/upload cycle by default, a
+// trajectory availability/route query round under -trajectory.
+func (w *wsdWorker) cycle() error {
+	if w.cfg.trajectory {
+		return w.trajectoryCycle()
+	}
+	return w.scanCycle()
+}
+
+// trajectoryCycle is one -trajectory round: query availability at the
+// current position, plan the look-ahead route, then advance along a
+// drifting heading. A trajectory straying past the metro's edge turns
+// back toward the center, so the fleet keeps querying surveyed cells.
+func (w *wsdWorker) trajectoryCycle() error {
+	ch := w.cfg.channels[w.rng.Intn(len(w.cfg.channels))]
+	start := time.Now()
+	if _, err := w.c.Availability(client.AvailabilityQuery{Loc: w.pos, Channels: []rfenv.Channel{ch}}); err != nil {
+		if w.faulty {
+			return nil // outage past the retry budget
+		}
+		return err
+	}
+	w.availHist.Observe(time.Since(start).Seconds())
+
+	lookahead := []geo.Point{
+		w.pos,
+		w.pos.Offset(w.heading, 2000),
+		w.pos.Offset(w.heading+30*(w.rng.Float64()-0.5), 4000),
+	}
+	start = time.Now()
+	if _, err := w.c.PlanRoute(lookahead, client.RouteOptions{HorizonS: 600, StepM: 500}); err != nil {
+		if w.faulty {
+			return nil
+		}
+		return err
+	}
+	w.routeHist.Observe(time.Since(start).Seconds())
+	w.scans.Inc() // one completed query round, for the throughput report
+
+	w.heading += 20 * (w.rng.Float64() - 0.5)
+	w.pos = w.pos.Offset(w.heading, 1000)
+	if w.pos.DistanceM(w.center) > 12000 {
+		w.heading = w.pos.BearingDeg(w.center)
+	}
+	return nil
+}
+
+// scanCycle runs one scan/upload round: re-fetch the model through the
 // cache, sense a random metro location, upload the decision's readings.
 // Transient outages (faults, unowned cells) return nil — the resilience
 // layer absorbs them; only simulation failures are fatal.
-func (w *wsdWorker) cycle() error {
+func (w *wsdWorker) scanCycle() error {
 	// Re-fetch through the cache each cycle: this is the Local Model
 	// Parameters Updater path, and it keeps /v1/model load realistic
 	// (cache hits locally, occasional misses after invalidation).
@@ -734,6 +814,10 @@ func report(cfg config, server, clients *telemetry.Registry, ol *benchharness.Op
 	}
 	clientRow("model fetch (miss)", "model_fetch", clients.Histogram("waldo_client_model_fetch_seconds", "", nil).Snapshot())
 	clientRow("upload round-trip ", "upload", clients.Histogram("waldo_client_upload_seconds", "", nil).Snapshot())
+	if cfg.trajectory {
+		clientRow("availability query", "availability", clients.Histogram("loadgen_availability_seconds", "", nil).Snapshot())
+		clientRow("route plan        ", "route", clients.Histogram("loadgen_route_seconds", "", nil).Snapshot())
+	}
 	if cfg.batch > 0 {
 		clientRow("buffer flush      ", "flush", clients.Histogram("waldo_client_flush_seconds", "", nil).Snapshot())
 	}

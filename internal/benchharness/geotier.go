@@ -1,0 +1,247 @@
+package benchharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsdetect/waldo/internal/dbserver"
+	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/telemetry"
+)
+
+// GeoTier is one fixed offered load level against the spatiotemporal
+// query surface (GET /v1/availability, POST /v1/route). Its point is
+// the tentpole claim of the geo-index design: grid rebuilds happen off
+// the request path, so route-query latency must not spike while
+// RetrainEvery keeps the rebuild machinery churning.
+type GeoTier struct {
+	// Name labels the tier in the trajectory (e.g. "geo-1k").
+	Name string
+	// Rate is the offered route-query rate in queries per second; the
+	// availability stream runs at the same rate.
+	Rate float64
+	// Duration is how long the tier's streams run. 0 means 5s.
+	Duration time.Duration
+	// RetrainEvery is the watch channel's retrain period; every retrain
+	// schedules an availability-grid rebuild on the serving nodes. 0
+	// means 500ms; negative means never (the no-churn baseline).
+	RetrainEvery time.Duration
+	// StepM is the route queries' sampling interval in meters. 0 means
+	// 500.
+	StepM float64
+	// Workers bounds each stream's operation concurrency. 0 means 32.
+	Workers int
+}
+
+func (t *GeoTier) defaults() {
+	if t.Duration <= 0 {
+		t.Duration = 5 * time.Second
+	}
+	if t.RetrainEvery == 0 {
+		t.RetrainEvery = 500 * time.Millisecond
+	}
+	if t.StepM <= 0 {
+		t.StepM = 500
+	}
+	if t.Workers <= 0 {
+		t.Workers = 32
+	}
+}
+
+// geoPayload is one pre-encoded query pair: an availability URL and a
+// route request body, both anchored in the bootstrap campaign's
+// surveyed area so queries hit populated cells.
+type geoPayload struct {
+	availURL  string
+	routeBody []byte
+}
+
+// buildGeoPayloads pre-encodes a pool of availability/route queries:
+// look-ahead polylines fanning out from each channel's seed location on
+// varied bearings, like a fleet of route planners crossing the metro.
+func (h *Harness) buildGeoPayloads(stepM float64) ([]geoPayload, error) {
+	const poolSize = 16
+	pool := make([]geoPayload, 0, poolSize)
+	for i := 0; len(pool) < poolSize; i++ {
+		ch := h.cfg.Channels[i%len(h.cfg.Channels)]
+		start := h.seedLoc[ch]
+		bearing := float64((i * 53) % 360)
+		points := []geo.Point{
+			start,
+			start.Offset(bearing, 2500),
+			start.Offset(bearing+30, 5000),
+		}
+		req := dbserver.RouteRequestJSON{StepM: stepM, HorizonS: 300}
+		for _, p := range points {
+			req.Points = append(req.Points, dbserver.RoutePointJSON{Lat: p.Lat, Lon: p.Lon})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, geoPayload{
+			availURL: fmt.Sprintf("%s/v1/availability?lat=%.6f&lon=%.6f",
+				h.BaseURL, start.Lat, start.Lon),
+			routeBody: body,
+		})
+	}
+	return pool, nil
+}
+
+// gridGeneration sums the availability-grid generation across every
+// serving node (one dbserver in single topology, every shard node in
+// cluster). The delta across a tier counts rebuilds that actually
+// published.
+func (h *Harness) gridGeneration() uint64 {
+	var gen uint64
+	if h.srv != nil {
+		gen += h.srv.GeoIndex().Snapshot().Generation
+	}
+	for _, n := range h.nodes {
+		gen += n.DB.GeoIndex().Snapshot().Generation
+	}
+	return gen
+}
+
+// RunGeoTier drives one spatiotemporal query tier: an open-loop route
+// stream and an open-loop availability stream, both at tier.Rate, with
+// a periodic retrain churning grid rebuilds underneath. Latency is
+// measured from each operation's scheduled start; TierResult carries
+// the route/availability endpoint distributions, the loops' schedule
+// accounting, and the number of grid rebuilds that published during the
+// tier.
+func (h *Harness) RunGeoTier(ctx context.Context, tier GeoTier) TierResult {
+	tier.defaults()
+	pool, err := h.buildGeoPayloads(tier.StepM)
+	if err != nil {
+		return TierResult{Name: tier.Name}
+	}
+
+	reg := telemetry.New()
+	buckets := telemetry.ExpBuckets(20e-6, math.Pow(10, 0.125), 48)
+	track := func(name string) *endpointTrack {
+		return &endpointTrack{
+			name: name,
+			hist: reg.Histogram("bench_e2e_latency_seconds",
+				"End-to-end operation latency from scheduled start.", buckets, "endpoint", name),
+		}
+	}
+	avail := track("availability")
+	routes := track("route")
+	retrain := track("retrain")
+
+	tierCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var lastRetrain atomic.Int64
+	var bg sync.WaitGroup
+	if tier.RetrainEvery > 0 {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			h.runRetrains(tierCtx, tier.RetrainEvery, &lastRetrain, retrain)
+		}()
+	}
+
+	genBefore := h.gridGeneration()
+	before := telemetry.ReadRuntime()
+	start := time.Now()
+
+	var availSeq, routeSeq atomic.Uint64
+	availOp := func(_ int, scheduled time.Time) {
+		p := pool[availSeq.Add(1)%uint64(len(pool))]
+		req, err := http.NewRequestWithContext(tierCtx, http.MethodGet, p.availURL, nil)
+		if err != nil {
+			avail.errs.Add(1)
+			return
+		}
+		resp, err := h.httpc.Do(req)
+		if err != nil {
+			avail.errs.Add(1)
+			return
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			avail.errs.Add(1)
+			return
+		}
+		avail.hist.Observe(time.Since(scheduled).Seconds())
+	}
+	routeOp := func(_ int, scheduled time.Time) {
+		p := pool[routeSeq.Add(1)%uint64(len(pool))]
+		req, err := http.NewRequestWithContext(tierCtx, http.MethodPost,
+			h.BaseURL+"/v1/route", bytes.NewReader(p.routeBody))
+		if err != nil {
+			routes.errs.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := h.httpc.Do(req)
+		if err != nil {
+			routes.errs.Add(1)
+			return
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			routes.errs.Add(1)
+			return
+		}
+		routes.hist.Observe(time.Since(scheduled).Seconds())
+	}
+
+	loopCfg := OpenLoopConfig{Rate: tier.Rate, Workers: tier.Workers, Duration: tier.Duration}
+	var loops sync.WaitGroup
+	var availStats, routeStats OpenLoopStats
+	loops.Add(2)
+	go func() {
+		defer loops.Done()
+		availStats = RunOpenLoop(tierCtx, loopCfg, availOp)
+	}()
+	go func() {
+		defer loops.Done()
+		routeStats = RunOpenLoop(tierCtx, loopCfg, routeOp)
+	}()
+	loops.Wait()
+	elapsed := time.Since(start)
+	delta := telemetry.ReadRuntime().DeltaSince(before)
+	cancel()
+	bg.Wait()
+
+	routeLoop := loopStats(loopCfg.Rate, routeStats)
+	availLoop := loopStats(loopCfg.Rate, availStats)
+	res := TierResult{
+		Name:             tier.Name,
+		DurationSeconds:  elapsed.Seconds(),
+		RouteLoop:        &routeLoop,
+		AvailabilityLoop: &availLoop,
+		GridRebuilds:     h.gridGeneration() - genBefore,
+	}
+	for _, tk := range []*endpointTrack{avail, routes, retrain} {
+		if ep, ok := tk.result(); ok {
+			res.Endpoints = append(res.Endpoints, ep)
+		}
+	}
+	ops := availStats.Completed + routeStats.Completed
+	res.GC = GCStats{
+		Cycles:           delta.GCCycles,
+		PauseCount:       delta.Pauses.Count(),
+		PauseP50:         delta.Pauses.Quantile(0.50),
+		PauseP95:         delta.Pauses.Quantile(0.95),
+		PauseP99:         delta.Pauses.Quantile(0.99),
+		PauseP999:        delta.Pauses.Quantile(0.999),
+		PauseMax:         delta.Pauses.Max(),
+		PauseTotalApprox: delta.Pauses.Sum(),
+	}
+	if ops > 0 {
+		res.GC.AllocBytesPerOp = float64(delta.AllocBytes) / float64(ops)
+		res.GC.AllocObjectsPerOp = float64(delta.AllocObjects) / float64(ops)
+	}
+	return res
+}

@@ -1,0 +1,184 @@
+package benchharness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// geoSmokeTier mirrors smokeTier for the spatiotemporal query surface.
+func geoSmokeTier() GeoTier {
+	return GeoTier{
+		Name:         "geo-smoke",
+		Rate:         400,
+		Duration:     1200 * time.Millisecond,
+		RetrainEvery: 250 * time.Millisecond,
+		Workers:      16,
+	}
+}
+
+// checkGeoTier asserts the invariants every healthy geo smoke tier must
+// hold, on either topology.
+func checkGeoTier(t *testing.T, res TierResult) {
+	t.Helper()
+	if res.AvailabilityLoop == nil || res.RouteLoop == nil {
+		t.Fatalf("geo tier missing loop stats: %+v", res)
+	}
+	for _, loop := range []*LoopStats{res.AvailabilityLoop, res.RouteLoop} {
+		if loop.Scheduled == 0 || loop.Completed == 0 {
+			t.Fatalf("query loop did nothing: %+v", loop)
+		}
+		if got := loop.Completed + loop.Dropped; got != loop.Scheduled {
+			t.Errorf("loop accounting: completed %d + dropped %d != scheduled %d",
+				loop.Completed, loop.Dropped, loop.Scheduled)
+		}
+	}
+	byName := map[string]EndpointLatency{}
+	for _, ep := range res.Endpoints {
+		byName[ep.Endpoint] = ep
+	}
+	for _, name := range []string{"availability", "route", "retrain"} {
+		ep, ok := byName[name]
+		if !ok || ep.Count == 0 {
+			t.Errorf("endpoint %q recorded no successful operations (%+v)", name, ep)
+			continue
+		}
+		if ep.P50 <= 0 || ep.P50 > ep.P99 || ep.P99 > ep.P999 {
+			t.Errorf("endpoint %q quantiles not ordered: p50=%v p99=%v p999=%v",
+				name, ep.P50, ep.P99, ep.P999)
+		}
+	}
+	// Unlike uploads, queries have no legitimate failure mode against a
+	// healthy in-process server: every error is a bug.
+	if byName["availability"].Errors != 0 || byName["route"].Errors != 0 {
+		t.Errorf("query errors under smoke load: availability=%d route=%d",
+			byName["availability"].Errors, byName["route"].Errors)
+	}
+	// The point of the tier: the grid must actually have been rebuilding
+	// while the latency columns were measured.
+	if res.GridRebuilds == 0 {
+		t.Error("no grid rebuilds published during a tier with retrain churn")
+	}
+}
+
+func TestGeoTierSingle(t *testing.T) {
+	h, err := Start(Config{Topology: TopologySingle, Samples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck // second close in the success path
+	res := h.RunGeoTier(context.Background(), geoSmokeTier())
+	checkGeoTier(t, res)
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// A geo tier must ride the same reporting pipeline as an ingest
+	// tier: append, flatten for the regression gate, render.
+	traj := &Trajectory{Format: TrajectoryFormat}
+	traj.Append(Run{Time: "test", Topologies: []TopologyResult{
+		{Topology: TopologySingle, Tiers: []TierResult{res}},
+	}})
+	path := t.TempDir() + "/BENCH_10.json"
+	if err := traj.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := loaded.Flatten(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"e2e/single/geo-smoke/availability/p99", "e2e/single/geo-smoke/route/p99"} {
+		if !strings.Contains(flat, want) {
+			t.Errorf("flattened gate output missing %q:\n%s", want, flat)
+		}
+	}
+	if _, err := loaded.RenderMarkdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoTierCluster(t *testing.T) {
+	h, err := Start(Config{Topology: TopologyCluster, Samples: 120, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck // second close in the success path
+	res := h.RunGeoTier(context.Background(), geoSmokeTier())
+	checkGeoTier(t, res)
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestGeoTierRebuildOffRequestPath is the acceptance criterion for the
+// snapshot-then-swap design: route-query latency with the rebuild
+// machinery churning must stay in the same regime as with the grid
+// fully quiescent. If rebuilds ever move onto the request path (a lock
+// shared with queries, a synchronous rebuild in a handler), the churn
+// run's tail blows out by orders of magnitude and this fails.
+func TestGeoTierRebuildOffRequestPath(t *testing.T) {
+	if raceEnabled {
+		// The race detector multiplies the rebuild's CPU cost ~10×,
+		// so on a small box the builder goroutine physically starves
+		// the request path for the core — real contention, but not
+		// the lock-sharing bug this test gates on. The strict
+		// assertion runs in every race-free `go test ./...`.
+		t.Skip("latency-regime assertion is meaningless under the race detector's CPU multiplier")
+	}
+	h, err := Start(Config{Topology: TopologySingle, Samples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close() //nolint:errcheck
+
+	// The bootstrap campaign's last retrain schedules a coalesced
+	// rebuild that can publish after Start returns; wait for the grid
+	// to quiesce so the baseline really is rebuild-free.
+	gen := h.gridGeneration()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(150 * time.Millisecond)
+		if next := h.gridGeneration(); next == gen {
+			break
+		} else {
+			gen = next
+		}
+	}
+
+	quiet := geoSmokeTier()
+	quiet.Name = "geo-quiet"
+	quiet.RetrainEvery = -1 // no retrains, no rebuilds: the baseline
+	base := h.RunGeoTier(context.Background(), quiet)
+	if base.GridRebuilds != 0 {
+		t.Fatalf("baseline tier saw %d rebuilds, want 0", base.GridRebuilds)
+	}
+
+	churn := geoSmokeTier()
+	churn.Name = "geo-churn"
+	res := h.RunGeoTier(context.Background(), churn)
+	checkGeoTier(t, res)
+
+	p99 := func(res TierResult, name string) float64 {
+		for _, ep := range res.Endpoints {
+			if ep.Endpoint == name {
+				return ep.P99
+			}
+		}
+		t.Fatalf("tier %s has no %q endpoint", res.Name, name)
+		return 0
+	}
+	// Lenient on purpose: scheduler noise on a loaded CI box is real,
+	// but an on-request-path rebuild costs whole model evaluations per
+	// query and lands far beyond 10x + 20ms.
+	for _, name := range []string{"route", "availability"} {
+		quietP99, churnP99 := p99(base, name), p99(res, name)
+		if churnP99 > quietP99*10+20e-3 {
+			t.Errorf("%s p99 %.3fms under rebuild churn vs %.3fms quiet: rebuild work is on the request path",
+				name, churnP99*1e3, quietP99*1e3)
+		}
+	}
+}

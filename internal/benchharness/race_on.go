@@ -1,0 +1,9 @@
+//go:build race
+
+package benchharness
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Latency-regime assertions consult it: the detector's ~10×
+// CPU multiplier turns benign background work into physical contention
+// on small machines, which is not the signal those tests gate on.
+const raceEnabled = true

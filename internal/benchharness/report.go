@@ -62,6 +62,16 @@ type TierResult struct {
 	UploadLoop LoopStats `json:"upload_loop"`
 	ModelLoop  LoopStats `json:"model_loop"`
 
+	// Geo-query tiers (RunGeoTier / make bench-geo) populate these
+	// instead of the upload/model loops; both kinds of tier share the
+	// bench_e2e/v1 schema so one trajectory file can hold both sweeps.
+	AvailabilityLoop *LoopStats `json:"availability_loop,omitempty"`
+	RouteLoop        *LoopStats `json:"route_loop,omitempty"`
+	// GridRebuilds counts availability-grid snapshots published across
+	// all serving nodes during the tier — proof the rebuild machinery
+	// was churning while the latency columns were measured.
+	GridRebuilds uint64 `json:"grid_rebuilds,omitempty"`
+
 	Endpoints []EndpointLatency `json:"endpoints"`
 	GC        GCStats           `json:"gc"`
 }

@@ -107,6 +107,7 @@ func (r *SimRadio) Calibration() sensor.Calibration {
 
 // ChannelScan is the outcome of sensing one channel on the mobile WSD.
 type ChannelScan struct {
+	// Channel is the TV channel this scan sensed.
 	Channel rfenv.Channel
 	// Decision is the detector's output.
 	Decision core.Decision
@@ -120,9 +121,11 @@ type ChannelScan struct {
 // ScanResult aggregates one duty cycle (the §5 prototype repeats a full
 // scan every 60 s).
 type ScanResult struct {
+	// Channels holds one ChannelScan per channel sensed this cycle.
 	Channels []ChannelScan
 	// AirTime and CPUTime are totals across channels.
 	AirTime time.Duration
+	// CPUTime is the summed processing time across channels.
 	CPUTime time.Duration
 }
 

@@ -39,30 +39,29 @@ import (
 	"sort"
 
 	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/geoindex"
 	"github.com/wsdetect/waldo/internal/rfenv"
 )
 
 // DefaultCellDeg is the default geo-cell quantum: 0.05° is ~5.5 km of
 // latitude, a few cells across the paper's 700 km² metro — coarse enough
 // that one wardriving neighborhood stays on one shard, fine enough that a
-// metro spreads across the ring.
-const DefaultCellDeg = 0.05
+// metro spreads across the ring. It is the same quantum the availability
+// grid indexes by (internal/geoindex owns the constant), so shard
+// ownership and availability lookups agree on cell identity.
+const DefaultCellDeg = geoindex.DefaultCellDeg
 
-// Cell is a quantized geographic cell, the locality unit of routing.
-type Cell struct {
-	X, Y int32
-}
+// Cell is a quantized geographic cell, the locality unit of routing. It
+// is an alias of the availability grid's cell type: a RouteKey's cell
+// and a geoindex lookup's cell are the same coordinate, by construction.
+type Cell = geoindex.Cell
 
 // CellOf quantizes a location onto the cell grid. cellDeg ≤ 0 means
-// DefaultCellDeg.
+// DefaultCellDeg. It delegates to geoindex.CellOf — the routing tier and
+// the availability grid must never disagree about which cell a point is
+// in, or a gateway would merge a shard's answer under the wrong key.
 func CellOf(p geo.Point, cellDeg float64) Cell {
-	if cellDeg <= 0 {
-		cellDeg = DefaultCellDeg
-	}
-	return Cell{
-		X: int32(math.Floor(p.Lat / cellDeg)),
-		Y: int32(math.Floor(p.Lon / cellDeg)),
-	}
+	return geoindex.CellOf(p, cellDeg)
 }
 
 // RouteKey is the unit of data placement: one TV channel in one

@@ -132,6 +132,7 @@ type Gateway struct {
 	lg           *wlog.Logger
 	failovers    *telemetry.Counter
 	uploadSplits *telemetry.Counter
+	geomerge     geoMergeState
 
 	// recorder backs GET /debug/traces; ownRec marks one created (and so
 	// closed) by this gateway rather than attached by the caller.
@@ -156,7 +157,19 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		cfg.MaxBodyBytes = 8 << 20
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+		// Not the default transport: its 2 idle conns per host means a
+		// fan-out gateway under load re-dials almost every shard leg,
+		// and the connection churn — not shard service time — becomes
+		// the latency floor. Size the idle pool for the leg concurrency
+		// a loaded gateway actually sustains.
+		cfg.HTTPClient = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.New()
@@ -205,7 +218,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 			"Times the gateway advanced a shard's active endpoint after failures."),
 		uploadSplits: cfg.Metrics.Counter("waldo_cluster_upload_split_total",
 			"Uploads whose readings crossed a routing-cell or channel boundary and were split across shard legs."),
-		stopc: make(chan struct{}),
+		geomerge: newGeoMergeState(cfg.Metrics),
+		stopc:    make(chan struct{}),
 	}
 	cfg.Metrics.Gauge("waldo_cluster_ring_nodes",
 		"Shards on the consistent-hash ring.").Set(float64(len(ids)))
@@ -266,6 +280,8 @@ func (g *Gateway) buildHandler() http.Handler {
 	route("POST /v1/upload/batch", "/v1/upload/batch", g.handleUploadBatch)
 	route("POST /v1/retrain", "/v1/retrain", g.handleRetrain)
 	route("GET /v1/stats", "/v1/stats", g.handleStats)
+	route("GET /v1/availability", "/v1/availability", g.handleAvailability)
+	route("POST /v1/route", "/v1/route", g.handleRoute)
 	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", g.handleBroadcastAdmin)
 	mux.Handle("GET /metrics", m.Handler())
 	// Unwrapped like /metrics: reading the recorder must not mint traces.
@@ -571,18 +587,7 @@ type FanoutResult struct {
 // per-shard failover as single-key routing) and collects the legs in
 // shard-ID order.
 func (g *Gateway) fanout(r *http.Request, body []byte) []FanoutResult {
-	ids := g.ring.Nodes()
-	results := make([]FanoutResult, len(ids))
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, sh *shardState) {
-			defer wg.Done()
-			results[i] = g.tryShard(r, sh, body)
-		}(i, g.shards[id])
-	}
-	wg.Wait()
-	return results
+	return g.fanoutTo(r, body, g.ring.Nodes())
 }
 
 // tryShard runs one shard leg of a fan-out, with endpoint failover, and

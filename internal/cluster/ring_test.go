@@ -74,9 +74,9 @@ func TestRingDeterminism(t *testing.T) {
 		key  RouteKey
 		want string
 	}{
-		{RouteKey{Channel: 21, Cell: Cell{0, 0}}, "s0"},
-		{RouteKey{Channel: 39, Cell: Cell{674, -1688}}, "s3"},
-		{RouteKey{Channel: 51, Cell: Cell{-3, 7}}, "s3"},
+		{RouteKey{Channel: 21, Cell: Cell{X: 0, Y: 0}}, "s0"},
+		{RouteKey{Channel: 39, Cell: Cell{X: 674, Y: -1688}}, "s3"},
+		{RouteKey{Channel: 51, Cell: Cell{X: -3, Y: 7}}, "s3"},
 	}
 	for _, g := range golden {
 		if got := a.Owner(g.key); got != g.want {

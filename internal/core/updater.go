@@ -429,6 +429,23 @@ func (u *Updater) Restore(readings []dataset.Reading, version, trainedCount int)
 	return nil
 }
 
+// IndexSnapshot returns a consistent view for availability indexing:
+// the current model, its version, and up to maxRecent of the most
+// recently accepted readings. The store is append-only, so the tail is
+// the store's recency window — the occupancy evidence freshest in time
+// without any per-reading timestamp bookkeeping. maxRecent ≤ 0 means
+// the whole store. The readings slice is a copy safe to read after the
+// lock is released; (nil, 0, evidence) before the first Retrain.
+func (u *Updater) IndexSnapshot(maxRecent int) (*Model, int, []dataset.Reading) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	rs := u.readings
+	if maxRecent > 0 && len(rs) > maxRecent {
+		rs = rs[len(rs)-maxRecent:]
+	}
+	return u.model, u.version, append([]dataset.Reading(nil), rs...)
+}
+
 // Checkpoint calls fn with a consistent view of the store — the readings
 // (a stable append-only prefix; fn must not mutate it), the model
 // version, and the trained prefix length — while the store lock is held.

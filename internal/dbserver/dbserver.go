@@ -45,6 +45,17 @@
 //	POST /v1/retrain?channel=C&sensor=K        relabel + rebuild one model; the
 //	                                           new version is in
 //	                                           X-Waldo-Model-Version
+//	GET  /v1/availability?lat=..&lon=..[&channels=C1,C2][&sensor=K]
+//	                                           per-cell channel availability
+//	                                           (free/occupied/uncertain +
+//	                                           confidence) from the precomputed
+//	                                           geo grid (internal/geoindex);
+//	                                           lock-free snapshot lookup
+//	POST /v1/route                             polyline + horizon → per-segment
+//	                                           channel availability along the
+//	                                           trajectory (RouteRequestJSON →
+//	                                           RouteJSON); same snapshot, one
+//	                                           lookup per traversed cell
 //	GET  /v1/export?channel=C&sensor=K         trusted store as CSV
 //	GET  /v1/stats                             JSON array of per-store stats
 //	                                           (readings, model version/bytes)
@@ -99,6 +110,7 @@ import (
 	"github.com/wsdetect/waldo/internal/dataset"
 	"github.com/wsdetect/waldo/internal/features"
 	"github.com/wsdetect/waldo/internal/geo"
+	"github.com/wsdetect/waldo/internal/geoindex"
 	"github.com/wsdetect/waldo/internal/rfenv"
 	"github.com/wsdetect/waldo/internal/sensor"
 	"github.com/wsdetect/waldo/internal/telemetry"
@@ -151,6 +163,13 @@ type Server struct {
 	batch *batchState
 	hub   *watchHub
 	watch watchState
+
+	// geoidx is the precomputed availability grid behind
+	// GET /v1/availability and POST /v1/route; geoq its query telemetry
+	// (availability.go). Rebuilds are scheduled by the retrain journal
+	// and run off the request path.
+	geoidx *geoindex.Index
+	geoq   geoQueryState
 
 	// closed is closed by Close so parked long-polls (watchers) wake and
 	// answer instead of pinning the listener's graceful shutdown for up
@@ -236,6 +255,14 @@ type Config struct {
 	// failures, WAL errors). Nil disables logging — every wlog method is
 	// a no-op on a nil logger, matching the telemetry convention.
 	Log *wlog.Logger
+	// GeoCellDeg is the availability grid's cell quantum (see
+	// internal/geoindex); 0 means geoindex.DefaultCellDeg. In a cluster
+	// it must match the gateway's routing quantum so ownership and
+	// availability lookups agree on cell identity.
+	GeoCellDeg float64
+	// GeoMaxRecent is the per-store recency window the availability
+	// grid rebuilds from; 0 means geoindex.DefaultMaxRecent.
+	GeoMaxRecent int
 }
 
 // Tap receives accepted store mutations for replication. Both methods are
@@ -299,7 +326,7 @@ func New(cfg Config) *Server {
 		cfg.Metrics.SetFlightRecorder(rec)
 	}
 	const cacheHelp = "Model descriptor cache lookups by outcome (hit, miss, not_modified)."
-	return &Server{
+	s := &Server{
 		updaters:    make(map[storeKey]*core.Updater),
 		wals:        make(map[storeKey]*walState),
 		cfg:         cfg,
@@ -316,8 +343,19 @@ func New(cfg Config) *Server {
 		batch:  newBatchState(cfg.Metrics),
 		hub:    newWatchHub(),
 		watch:  newWatchState(cfg.Metrics),
+		geoq:   newGeoQueryState(cfg.Metrics),
 		closed: make(chan struct{}),
 	}
+	// The grid's Source walks the live stores, so the index is built
+	// after the server exists; it serves the empty generation-0 snapshot
+	// until the first retrain schedules a build.
+	s.geoidx = geoindex.New(geoindex.Config{
+		CellDeg: cfg.GeoCellDeg,
+		Source:  s.indexSource,
+		Metrics: cfg.Metrics,
+		Log:     cfg.Log,
+	})
+	return s
 }
 
 // Metrics returns the server's telemetry registry (never nil).
@@ -369,6 +407,10 @@ func (s *Server) updaterFor(ch rfenv.Channel, kind sensor.Kind) (*core.Updater, 
 	if s.cfg.Tap != nil {
 		journals = append(journals, tapJournal{tap: s.cfg.Tap, ch: ch, kind: kind})
 	}
+	// The availability grid rebuild trigger sits after durability (WAL,
+	// tap) — it only flips scheduler state; the build itself runs on its
+	// own goroutine off the request path.
+	journals = append(journals, geoJournal{idx: s.geoidx, reg: s.metrics})
 	// The watch journal is always last: watchers are woken only after the
 	// WAL and the replication tap have seen the retrain, so a delivered
 	// push never races ahead of durability.
@@ -417,6 +459,10 @@ func (s *Server) Bootstrap(readings []dataset.Reading) error {
 			return fmt.Errorf("dbserver: train %v/%v: %w", key.ch, key.kind, err)
 		}
 	}
+	// Each retrain above scheduled an async grid rebuild; run one more
+	// synchronously so a freshly bootstrapped server answers
+	// availability queries deterministically from its first request.
+	s.geoidx.Rebuild(context.Background())
 	return nil
 }
 
@@ -448,6 +494,8 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/readings", "/v1/readings", s.handleReadings)
 	route("POST /v1/upload/batch", "/v1/upload/batch", s.handleUploadBatch)
 	route("POST /v1/retrain", "/v1/retrain", s.handleRetrain)
+	route("GET /v1/availability", "/v1/availability", s.handleAvailability)
+	route("POST /v1/route", "/v1/route", s.handleRoute)
 	route("GET /v1/export", "/v1/export", s.handleExport)
 	route("GET /v1/stats", "/v1/stats", s.handleStats)
 	route("POST /v1/admin/snapshot", "/v1/admin/snapshot", s.handleAdminSnapshot)

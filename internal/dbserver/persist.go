@@ -177,6 +177,9 @@ func (s *Server) FlushWAL() error {
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		// Stop grid rebuild scheduling and wait out any in-flight build
+		// so shutdown never leaks a builder goroutine.
+		s.geoidx.Close()
 		if s.ownRec {
 			s.recorder.Close()
 		}

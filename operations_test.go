@@ -113,6 +113,62 @@ func TestClusterMetricsDocumentedWithAlerts(t *testing.T) {
 	}
 }
 
+// TestGeoindexMetricsDocumentedWithAlerts holds the availability-grid
+// series to the alert-bearing-row bar. The grid fails quiet: a rebuild
+// hook that comes unwired produces no errors anywhere — queries just
+// serve an ever-staler snapshot — so the waldo_geoindex_* rows in
+// OPERATIONS.md §2.8 are the only tripwire, and each must say when to
+// alert. The series are registered in two packages (the index itself
+// and the dbserver query handlers); scan both.
+func TestGeoindexMetricsDocumentedWithAlerts(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`(waldo_geoindex_[a-z0-9_]+)`\\s*\\|([^|]*)\\|([^|]*)\\|")
+	documented := map[string]bool{}
+	for _, m := range rowRE.FindAllSubmatch(doc, -1) {
+		name := string(m[1])
+		if strings.TrimSpace(string(m[2])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Meaning column", name)
+		}
+		if strings.TrimSpace(string(m[3])) == "" {
+			t.Errorf("OPERATIONS.md row for %s has an empty Alert column", name)
+		}
+		documented[name] = true
+	}
+
+	metricRE := regexp.MustCompile(`"(waldo_geoindex_[a-z0-9_]+)"`)
+	for _, dir := range []string{"internal/geoindex", "internal/dbserver"} {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricRE.FindAllSubmatch(src, -1) {
+				name := string(m[1])
+				if !documented[name] {
+					t.Errorf("geoindex metric %s (in %s) has no alert-bearing table row in OPERATIONS.md §2.8", name, path)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(documented) < 8 {
+		t.Errorf("OPERATIONS.md documents only %d waldo_geoindex_* rows; the grid exports 8", len(documented))
+	}
+}
+
 // TestObservabilityMetricsDocumentedWithAlerts holds the observability
 // pipeline's own series (flight recorder, structured log) to the same
 // bar as the cluster tier: an alert-bearing table row each, not a mere

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Godoc-coverage gate: every exported identifier in the packages listed
+# below must carry a doc comment. The list is the contract surface —
+# packages whose exported API other code (or an operator reading godoc)
+# is entitled to rely on. Grow it a package at a time as packages get
+# their docs audit; never shrink it.
+#
+# Usage: scripts/doccheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PACKAGES=(
+  internal/geoindex
+  internal/client
+)
+
+if go run ./cmd/waldo-doccheck "${PACKAGES[@]}"; then
+  echo "doccheck: OK (${PACKAGES[*]})"
+else
+  echo "doccheck: FAILED — document the identifiers above (see cmd/waldo-doccheck)" >&2
+  exit 1
+fi
